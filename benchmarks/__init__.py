@@ -1,0 +1,1 @@
+"""Figure-by-figure benchmark harness (run with pytest-benchmark)."""

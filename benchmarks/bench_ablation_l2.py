@@ -1,0 +1,23 @@
+"""Ablation: what does ignoring the GPU's L2 cache cost the model?
+
+The base cost model charges every GPU transaction at DRAM rates; a real
+GTX 780 serves the hot top I-segment levels from its 1.5 MB L2.  This
+bench quantifies the conservative bias across tree sizes: small trees
+(I-segment within L2 reach) would be noticeably faster than modeled,
+large trees barely — which *strengthens* the paper's headline, since
+its big-tree numbers are the ones the simplification understates least.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures.extensions import run_l2
+
+
+@pytest.mark.benchmark(group="ablation-l2")
+def test_l2_ablation(benchmark):
+    table = run_table(benchmark, run_l2)
+    speedups = [r["t2_speedup_if_modeled"] for r in table.rows]
+    # bias shrinks as the I-segment outgrows the L2
+    assert speedups == sorted(speedups, reverse=True)
+    assert speedups[0] > speedups[-1]

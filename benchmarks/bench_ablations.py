@@ -1,0 +1,26 @@
+"""Ablations: GPU transaction size, node index line, buffer depth."""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import ablations
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_txn_size_table(benchmark):
+    table = run_table(benchmark, ablations.run_txn_size)
+    per_size = {r["txn_bytes"]: r["bytes_per_query"] for r in table.rows}
+    assert per_size[64] <= per_size[128]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_node_index_table(benchmark):
+    table = run_table(benchmark, ablations.run_node_index)
+    assert (table.value("lines_per_query", layout="indexed (paper)")
+            < table.value("lines_per_query", layout="flat-scan"))
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_buffers_table(benchmark):
+    table = run_table(benchmark, ablations.run_buffers)
+    assert table.value("mqps", buffers=2) >= table.value("mqps", buffers=1)

@@ -1,0 +1,27 @@
+"""Fig 7 — memory page configuration: TLB misses and throughput."""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig07
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.memsim.mainmem import MemorySystem, PageConfig
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_table(benchmark):
+    table = run_table(benchmark, fig07.run)
+    # Fig 7(a): huge/small is bounded by one TLB miss per query
+    for row in table.select(config="huge/small"):
+        assert row["tlb_misses_per_query"] <= 1.0
+
+
+@pytest.mark.benchmark(group="fig07-micro")
+def test_instrumented_lookup_cost(benchmark, bench_data, m1):
+    """Raw cost of one fully instrumented lookup (TLB+cache simulated)."""
+    keys, values, queries = bench_data
+    mem = MemorySystem.from_spec(m1.cpu)
+    tree = ImplicitCpuBPlusTree(keys, values, mem=mem,
+                                page_config=PageConfig.HUGE_SMALL)
+    it = iter(range(10**9))
+    benchmark(lambda: tree.lookup(int(queries[next(it) % len(queries)])))

@@ -1,0 +1,31 @@
+"""Fig 8 — software pipelining and SIMD node-search algorithms (M2)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig08
+from repro.cpu.node_search import (
+    hierarchical_simd_search,
+    linear_simd_search,
+    sequential_search,
+)
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_table(benchmark):
+    table = run_table(benchmark, fig08.run)
+    for row in table.select(variant="hierarchical-simd"):
+        assert row["vs_noswp"] > 1.5  # paper: +108-152%
+
+
+NODE = [10, 20, 30, 40, 50, 60, 70, 80]
+
+
+@pytest.mark.benchmark(group="fig08-micro")
+@pytest.mark.parametrize("fn", [
+    sequential_search, linear_simd_search, hierarchical_simd_search,
+], ids=["sequential", "linear", "hierarchical"])
+def test_node_search_emulation_cost(benchmark, fn):
+    """Cost of one emulated node search (the literal snippet ports)."""
+    benchmark(fn, NODE, 45)

@@ -1,0 +1,25 @@
+"""Fig 9 — FAST vs the implicit CPU-optimized B+-tree."""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig09
+from repro.cpu.fast_tree import FastTree
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_table(benchmark):
+    table = run_table(benchmark, fig09.run)
+    for row in table.rows:
+        assert row["btree_over_fast"] >= 1.0  # B+-tree never loses
+
+
+@pytest.mark.benchmark(group="fig09-micro")
+def test_fast_lookup_cost(benchmark, bench_data):
+    keys, values, queries = bench_data
+    tree = FastTree(keys, values)
+    it = iter(range(10**9))
+    benchmark(
+        lambda: tree.lookup(int(queries[next(it) % len(queries)]),
+                            instrument=False)
+    )

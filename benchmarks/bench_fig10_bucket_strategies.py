@@ -1,0 +1,28 @@
+"""Fig 10 — sequential / pipelined / double-buffered bucket handling."""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig10
+from repro.core.pipeline import BucketStrategy, PipelineSimulator
+from repro.platform.costmodel import BucketCosts
+
+COSTS = BucketCosts(t1=20e3, t2=60e3, t3=20e3, t4=55e3)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_table(benchmark):
+    table = run_table(benchmark, fig10.run)
+    for tree in ("implicit", "regular"):
+        db = table.value("vs_sequential", tree=tree,
+                         strategy="double_buffered")
+        assert db > 1.6  # paper: +110%
+
+
+@pytest.mark.benchmark(group="fig10-micro")
+@pytest.mark.parametrize("strategy", list(BucketStrategy),
+                         ids=lambda s: s.value)
+def test_pipeline_simulation_cost(benchmark, strategy):
+    """Cost of playing 256 buckets through the event simulator."""
+    sim = PipelineSimulator(COSTS, strategy, 16384)
+    benchmark(sim.run, 256)

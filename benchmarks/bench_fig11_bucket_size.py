@@ -1,0 +1,28 @@
+"""Fig 11 — bucket size sweep: throughput and latency."""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig11
+from repro.core.buckets import iter_buckets
+from repro.core.hbtree_implicit import ImplicitHBPlusTree
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_table(benchmark):
+    table = run_table(benchmark, fig11.run)
+    for tree in ("implicit", "regular"):
+        lats = [r["latency_us"] for r in table.select(tree=tree)]
+        assert lats == sorted(lats)  # latency grows with bucket size
+
+
+@pytest.mark.benchmark(group="fig11-micro")
+@pytest.mark.parametrize("bucket", [8192, 16384, 65536])
+def test_bucket_execution_cost(benchmark, bench_data, m1, bucket):
+    """Functional cost of pushing one bucket through the hybrid path."""
+    keys, values, queries = bench_data
+    tree = ImplicitHBPlusTree(keys, values, machine=m1)
+    batch = next(iter_buckets(
+        queries.repeat(max(1, bucket // len(queries) + 1))[:bucket], bucket
+    ))
+    benchmark(tree.lookup_batch, batch)

@@ -1,0 +1,21 @@
+"""Fig 12 — impact of skewed query distributions."""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig12
+from repro.workloads.generators import generate_skewed_queries
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_table(benchmark):
+    table = run_table(benchmark, fig12.run)
+    for tree in ("implicit", "regular"):
+        assert table.value("vs_uniform", tree=tree,
+                           distribution="zipf") > 1.15
+
+
+@pytest.mark.benchmark(group="fig12-micro")
+@pytest.mark.parametrize("dist", ["uniform", "normal", "gamma", "zipf"])
+def test_distribution_generation_cost(benchmark, dist):
+    benchmark(generate_skewed_queries, dist, 16384)

@@ -1,0 +1,31 @@
+"""Fig 13 — regular HB+-tree update methods and I-segment sync time."""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig13
+from repro.core.hbtree import HBPlusTree
+from repro.workloads.queries import make_insert_batch
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_table(benchmark):
+    table = run_table(benchmark, fig13.run)
+    n = table.rows[0]["n"]
+    assert (table.value("muqps", n=n, method="async-mt")
+            > table.value("muqps", n=n, method="async-1t"))
+
+
+@pytest.mark.benchmark(group="fig13-micro")
+def test_functional_insert_cost(benchmark, bench_data, m1):
+    """Raw cost of one insert into the regular tree (with splits)."""
+    keys, values, _q = bench_data
+    tree = HBPlusTree(keys[:32768], values[:32768], machine=m1, fill=0.7)
+    new_keys, new_vals = make_insert_batch(keys[:32768], 50_000, 64)
+    it = iter(range(len(new_keys)))
+
+    def one_insert():
+        i = next(it)
+        tree.cpu_tree.insert(int(new_keys[i]), int(new_vals[i]))
+
+    benchmark(one_insert)

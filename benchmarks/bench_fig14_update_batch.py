@@ -1,0 +1,13 @@
+"""Fig 14 — sync vs async update time across batch sizes."""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig14
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_table(benchmark):
+    table = run_table(benchmark, fig14.run)
+    assert table.rows[0]["winner"] == "sync"
+    assert table.rows[-1]["winner"] == "async"

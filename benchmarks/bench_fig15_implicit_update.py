@@ -1,0 +1,25 @@
+"""Fig 15 — implicit HB+-tree rebuild phases and the transfer share."""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig15
+from repro.core.hbtree_implicit import ImplicitHBPlusTree
+from repro.workloads.generators import generate_dataset
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_table(benchmark):
+    table = run_table(benchmark, fig15.run)
+    assert table.rows[-1]["transfer_pct"] < 15.0
+
+
+@pytest.mark.benchmark(group="fig15-micro")
+def test_functional_rebuild_cost(benchmark, bench_data, m1):
+    """Wall-clock cost of a real tree rebuild + mirror upload."""
+    keys, values, _q = bench_data
+    tree = ImplicitHBPlusTree(keys[:2048], values[:2048], machine=m1)
+    fresh = generate_dataset(65536, seed=4242)
+    benchmark.pedantic(
+        lambda: tree.rebuild(*fresh), rounds=3, iterations=1
+    )

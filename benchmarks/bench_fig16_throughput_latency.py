@@ -1,0 +1,35 @@
+"""Fig 16 — the headline comparison: HB+-tree vs CPU-optimized tree.
+
+Regenerates throughput (64- and 32-bit) and latency, and
+micro-benchmarks the functional hybrid lookup path.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig16
+from repro.core.hbtree_implicit import ImplicitHBPlusTree
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_table_64bit(benchmark):
+    table = run_table(benchmark, fig16.run)
+    biggest = max(r["n"] for r in table.rows)
+    hb = table.value("mqps", n=biggest, tree="hb-implicit")
+    cpu = table.value("mqps", n=biggest, tree="cpu-implicit")
+    assert hb > 1.5 * cpu  # the hybrid clearly wins at scale
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_table_32bit(benchmark):
+    table = run_table(benchmark, fig16.run, key_bits=32)
+    biggest = max(r["n"] for r in table.rows)
+    assert (table.value("mqps", n=biggest, tree="hb-implicit")
+            > table.value("mqps", n=biggest, tree="cpu-implicit"))
+
+
+@pytest.mark.benchmark(group="fig16-micro")
+def test_hybrid_batch_lookup_cost(benchmark, bench_data, m1):
+    keys, values, queries = bench_data
+    tree = ImplicitHBPlusTree(keys, values, machine=m1)
+    benchmark(tree.lookup_batch, queries)

@@ -1,0 +1,31 @@
+"""Fig 17 — range query throughput vs matches per query."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig17
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.workloads.queries import make_range_queries
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_table(benchmark):
+    table = run_table(benchmark, fig17.run)
+    adv = [r["hb_advantage_pct"] for r in table.rows]
+    assert adv[-1] < adv[0]  # the hybrid advantage shrinks with matches
+
+
+@pytest.mark.benchmark(group="fig17-micro")
+@pytest.mark.parametrize("matches", [1, 8, 32])
+def test_range_query_cost(benchmark, bench_data, matches):
+    keys, values, _q = bench_data
+    tree = ImplicitCpuBPlusTree(keys, values)
+    ranges = make_range_queries(keys, 256, matches)
+    it = iter(range(10**9))
+
+    def one_range():
+        lo, hi = ranges[next(it) % len(ranges)]
+        return tree.range_query(lo, hi)
+
+    benchmark(one_range)

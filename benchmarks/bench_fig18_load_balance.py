@@ -1,0 +1,33 @@
+"""Fig 18 — the load balancing scheme on the CPU-strong machine M2."""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig18
+from repro.core.hbtree_implicit import ImplicitHBPlusTree
+from repro.core.load_balance import LoadBalancer
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18_table(benchmark):
+    table = run_table(benchmark, fig18.run)
+    for row in table.rows:
+        assert row["hb_balanced_mqps"] > row["hb_plain_mqps"]
+
+
+@pytest.mark.benchmark(group="fig18-micro")
+def test_discovery_algorithm_cost(benchmark, bench_data, m2):
+    """Cost of one full Algorithm-1 discovery run."""
+    keys, values, _q = bench_data
+    tree = ImplicitHBPlusTree(keys, values, machine=m2)
+    balancer = LoadBalancer(tree)
+    benchmark(balancer.discover)
+
+
+@pytest.mark.benchmark(group="fig18-micro")
+def test_balanced_lookup_cost(benchmark, bench_data, m2):
+    keys, values, queries = bench_data
+    tree = ImplicitHBPlusTree(keys, values, machine=m2)
+    balancer = LoadBalancer(tree)
+    balancer.discover()
+    benchmark(balancer.lookup_batch, queries)

@@ -1,0 +1,15 @@
+"""Fig 19 (appendix B.1) — HB+-tree lookup using only the CPU."""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig19
+
+
+@pytest.mark.benchmark(group="fig19")
+def test_fig19_table(benchmark):
+    table = run_table(benchmark, fig19.run)
+    for n in {r["n"] for r in table.rows}:
+        f9 = table.value("mqps", n=n, tree="cpu-implicit-f9")
+        f8 = table.value("mqps", n=n, tree="hb-implicit-f8")
+        assert f9 >= f8  # the fanout-9 layout wins on the CPU

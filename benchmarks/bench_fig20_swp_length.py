@@ -1,0 +1,27 @@
+"""Fig 20 (appendix B.2) — software pipeline length sweep."""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig20
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.cpu.software_pipeline import SoftwarePipeline
+from repro.memsim.mainmem import MemorySystem
+
+
+@pytest.mark.benchmark(group="fig20")
+def test_fig20_table(benchmark):
+    table = run_table(benchmark, fig20.run)
+    assert 1.7 <= table.value("speedup", pipeline_len=16) <= 3.2
+
+
+@pytest.mark.benchmark(group="fig20-micro")
+@pytest.mark.parametrize("p", [1, 16])
+def test_literal_pipeline_executor_cost(benchmark, bench_data, p):
+    """Cost of Algorithm 2's literal executor per 64-query batch."""
+    keys, values, queries = bench_data
+    mem = MemorySystem()
+    tree = ImplicitCpuBPlusTree(keys, values, mem=mem)
+    pipe = SoftwarePipeline(tree, pipeline_len=p)
+    batch = queries[:64].tolist()
+    benchmark(pipe.run, batch)

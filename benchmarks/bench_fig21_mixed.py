@@ -1,0 +1,15 @@
+"""Fig 21 (appendix B.3) — concurrent search/update execution."""
+
+import pytest
+
+from benchmarks.conftest import run_table
+from repro.bench.figures import fig21
+
+
+@pytest.mark.benchmark(group="fig21")
+def test_fig21_table(benchmark):
+    table = run_table(benchmark, fig21.run)
+    asyncs = [r["async_mops"] for r in table.rows]
+    syncs = [r["sync_mops"] for r in table.rows]
+    assert asyncs == sorted(asyncs, reverse=True)
+    assert syncs[-1] <= asyncs[-1]  # sync degrades at least as fast

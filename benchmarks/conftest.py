@@ -1,0 +1,48 @@
+"""Shared helpers for the figure benchmarks.
+
+Every figure of the paper's evaluation has one module here.  Each module
+contains:
+
+* ``test_<fig>_table`` — regenerates the figure's data table (printed
+  with ``-s``) through the experiment harness, timed once;
+* micro-benchmarks of the operations the figure measures, so
+  ``pytest benchmarks/ --benchmark-only`` also reports the raw
+  simulation-operation costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.platform.configs import machine_m1, machine_m2
+from repro.workloads.generators import generate_dataset
+from repro.workloads.queries import make_point_queries
+
+BENCH_N = 1 << 17
+BENCH_QUERIES = 2048
+
+
+@pytest.fixture(scope="session")
+def m1():
+    return machine_m1()
+
+
+@pytest.fixture(scope="session")
+def m2():
+    return machine_m2()
+
+
+@pytest.fixture(scope="session")
+def bench_data():
+    keys, values = generate_dataset(BENCH_N, seed=1234)
+    queries = make_point_queries(keys, BENCH_QUERIES, seed=77)
+    return keys, values, queries
+
+
+def run_table(benchmark, fn, **kwargs):
+    """Run one experiment once under the benchmark timer and print it."""
+    table = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(table.format())
+    return table

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""An operations playbook: the library features a deployment leans on.
+
+Walks one index through a day of operation:
+
+1. build + persist the index (``save_index`` / ``load_index``),
+2. validate it deeply, including GPU-mirror consistency
+   (``validate_index``),
+3. serve a production-like trace with a drifting hot set
+   (``synthesize_trace`` / ``replay_trace``),
+4. absorb a large write burst with GPU-assisted batch updates
+   (``GpuAssistedUpdater``), then re-validate and re-persist.
+
+Run:  python examples/operations_playbook.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    GpuAssistedUpdater,
+    HBPlusTree,
+    load_index,
+    machine_m1,
+    save_index,
+    validate_index,
+)
+from repro.workloads import generate_dataset
+from repro.workloads.queries import make_insert_batch
+from repro.workloads.trace import replay_trace, synthesize_trace
+
+
+def main() -> None:
+    machine = machine_m1()
+    workdir = Path(tempfile.mkdtemp(prefix="hbtree_ops_"))
+
+    # 1. build + persist
+    keys, values = generate_dataset(1 << 16, seed=2026)
+    tree = HBPlusTree(keys, values, machine=machine, fill=0.7)
+    path = save_index(tree, workdir / "orders_index")
+    print(f"built {len(tree):,}-tuple index; persisted to {path}")
+
+    # reload on a "fresh node", leaving room for the day's inserts
+    tree = load_index(path, machine=machine, fill=0.7)
+    print(f"reloaded: {len(tree):,} tuples, height {tree.height}")
+
+    # 2. deep validation (structure + GPU mirror via the SIMT kernel)
+    validate_index(tree)
+    print("validate_index: structure and GPU mirror consistent")
+
+    # 3. serve a drifting-hot-set trace
+    trace = synthesize_trace(
+        keys, 5_000, read_ratio=0.85, working_set=0.03, drift_every=800,
+    )
+    trace_path = trace.save(workdir / "day1_trace")
+    stats = replay_trace(trace, tree)
+    print(
+        f"replayed {stats.operations:,} ops from {trace_path.name}: "
+        f"{stats.lookups:,} lookups ({stats.hit_rate:.1%} hit), "
+        f"{stats.upserts:,} upserts, {stats.deletes:,} deletes, "
+        f"{stats.ranges:,} ranges ({stats.range_tuples:,} tuples)"
+    )
+    validate_index(tree)
+
+    # 4. nightly write burst, GPU assisted
+    burst_keys, burst_vals = make_insert_batch(
+        np.asarray([k for k, _v in tree.cpu_tree.items()],
+                   dtype=np.uint64),
+        8_192, 64,
+    )
+    burst = GpuAssistedUpdater(tree).apply(burst_keys, burst_vals)
+    print(
+        f"write burst: {burst.applied:,} upserts, "
+        f"{burst.redescended} re-descended after splits, "
+        f"modeled {burst.total_ns / 1e6:.2f} ms "
+        f"(GPU locate {burst.gpu_locate_ns / 1e6:.2f} ms)"
+    )
+    validate_index(tree)
+    final = save_index(tree, workdir / "orders_index_day2")
+    print(f"validated and re-persisted to {final}")
+
+
+if __name__ == "__main__":
+    main()

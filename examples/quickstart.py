@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: build an HB+-tree, search it, inspect the cost model.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ImplicitHBPlusTree, machine_m1
+from repro.core.pipeline import BucketStrategy, strategy_throughput_qps
+from repro.workloads import generate_dataset, make_point_queries
+
+
+def main() -> None:
+    # 1. generate a dataset (unique uniform keys, like the paper's)
+    n = 1 << 18
+    keys, values = generate_dataset(n, key_bits=64, seed=1)
+    print(f"dataset: {n:,} unique 64-bit key/value tuples")
+
+    # 2. build the hybrid tree on the simulated M1 platform
+    #    (Xeon E5-2665 + Geforce GTX 780)
+    machine = machine_m1()
+    tree = ImplicitHBPlusTree(keys, values, machine=machine)
+    print(f"tree height: {tree.height} inner levels")
+    print(f"I-segment (mirrored to GPU): {tree.i_segment_bytes / 1024:.0f} KiB")
+    print(f"L-segment (CPU memory only): {tree.l_segment_bytes / 1024:.0f} KiB")
+
+    # 3. point lookups — single and batched
+    k = int(keys[0])
+    print(f"\nlookup({k}) = {tree.lookup(k)} (expected {int(values[0])})")
+    queries = make_point_queries(keys, 10_000)
+    out = tree.lookup_batch(queries)
+    found = np.sum(out != tree.spec.max_value)
+    print(f"batched: {found:,}/{len(queries):,} queries found their key")
+
+    # 4. a range query (leaves are chained, so scans are sequential)
+    sk = np.sort(keys)
+    lo, hi = int(sk[1000]), int(sk[1015])
+    matches = tree.range_query(lo, hi)
+    print(f"range [{lo} .. {hi}] -> {len(matches)} tuples")
+
+    # 5. the paper's cost model: T1..T4 per 16K-query bucket
+    costs = tree.bucket_costs()
+    print("\nbucket cost model (M = 16K queries):")
+    print(f"  T1 host->device transfer : {costs.t1 / 1e3:8.1f} us")
+    print(f"  T2 GPU inner-node search : {costs.t2 / 1e3:8.1f} us")
+    print(f"  T3 device->host transfer : {costs.t3 / 1e3:8.1f} us")
+    print(f"  T4 CPU leaf search       : {costs.t4 / 1e3:8.1f} us")
+    for strategy in BucketStrategy:
+        qps = strategy_throughput_qps(costs, strategy, machine.bucket_size)
+        print(f"  {strategy.value:<16} -> {qps / 1e6:7.1f} MQPS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The execution environment has no network and no `wheel` package, so the
+PEP 517 editable path (which needs bdist_wheel) is unavailable; this file
+lets setuptools fall back to `setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

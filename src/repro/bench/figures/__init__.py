@@ -1,0 +1,48 @@
+"""One module per paper figure; ``REGISTRY`` maps ids to run functions."""
+
+from repro.bench.figures import (
+    ablations,
+    extensions,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    fig21,
+)
+
+REGISTRY = {
+    "fig07": fig07.run,
+    "fig08": fig08.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "fig18": fig18.run,
+    "fig19": fig19.run,
+    "fig20": fig20.run,
+    "fig21": fig21.run,
+    "ablation_txn_size": ablations.run_txn_size,
+    "ablation_node_index": ablations.run_node_index,
+    "ablation_buffers": ablations.run_buffers,
+    "ablation_l2": extensions.run_l2,
+    "ext_gpu_update": extensions.run_gpu_update,
+    "ext_framework": extensions.run_framework,
+    "modern_hw": extensions.run_modern_hw,
+}
+
+__all__ = ["REGISTRY"]

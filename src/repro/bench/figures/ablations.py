@@ -1,0 +1,136 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* GPU transaction size 32/64/128 bytes (section 5.2 chose 64),
+* the regular inner node's index cache line (vs flat key scan),
+* double-buffer depth (2 vs 3 in-flight buckets, section 5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bench.figures.common import dataset_and_queries, fresh_mem
+from repro.bench.harness import ExperimentTable
+from repro.core.hbtree import HBPlusTree
+from repro.core.hbtree_implicit import ImplicitHBPlusTree
+from repro.core.pipeline import (
+    BucketStrategy,
+    PipelineSimulator,
+)
+from repro.platform.configs import MachineConfig, machine_m1
+
+
+def run_txn_size(machine: Optional[MachineConfig] = None, full: bool = False,
+                 key_bits: int = 64, n: int = 1 << 18) -> ExperimentTable:
+    """What if nodes spanned 32 or 128 bytes instead of one cache line?
+
+    A 32-byte node halves the fanout (deeper tree, more transactions);
+    a 128-byte node doubles per-level traffic for one fewer level.
+    The 64-byte choice minimizes total bytes moved.
+    """
+    machine = machine or machine_m1()
+    table = ExperimentTable(
+        "ablation_txn_size", "GPU transaction size for inner nodes"
+    )
+    keys, values, queries = dataset_and_queries(n, key_bits)
+    tree = ImplicitHBPlusTree(
+        keys, values, machine=machine, key_bits=key_bits,
+        mem=fresh_mem(machine),
+    )
+    result = tree.gpu_search_bucket(np.asarray(queries, dtype=tree.spec.dtype))
+    depth = tree.gpu_depth
+    per_query_64 = result.transactions_per_query
+    n_leaves = tree.cpu_tree.num_leaves
+    for txn_bytes, fanout in ((32, 4), (64, 8), (128, 16)):
+        import math
+        d = max(1, math.ceil(math.log(max(n_leaves, 2), fanout)))
+        bytes_per_query = d * txn_bytes
+        table.add(
+            txn_bytes=txn_bytes,
+            fanout=fanout,
+            levels=d,
+            bytes_per_query=bytes_per_query,
+            relative_traffic=round(
+                bytes_per_query / (per_query_64 / depth * depth * 64), 2
+            ),
+        )
+    table.note("64-byte transactions minimize bytes/query (section 5.2)")
+    return table
+
+
+def run_node_index(machine: Optional[MachineConfig] = None,
+                   full: bool = False, key_bits: int = 64,
+                   n: int = 1 << 18) -> ExperimentTable:
+    """The regular inner node's index line vs scanning all key lines.
+
+    With the index line a node search touches 3 cache lines; without it
+    the search would binary-scan up to ``K`` key lines (expected
+    ``K/2 + 1``), multiplying memory traffic.
+    """
+    machine = machine or machine_m1()
+    table = ExperimentTable(
+        "ablation_node_index", "regular node: index line vs flat scan"
+    )
+    keys, values, queries = dataset_and_queries(n, key_bits)
+    tree = HBPlusTree(
+        keys, values, machine=machine, key_bits=key_bits,
+        mem=fresh_mem(machine),
+    )
+    kpl = tree.spec.keys_per_line
+    h = tree.cpu_tree.height
+    with_index = 3 * h + 1
+    # without the index line: binary search over K key lines touches
+    # ~log2(K)+1 lines, plus the ref line
+    import math
+    without_index = (math.ceil(math.log2(kpl)) + 1 + 1) * h + 1
+    table.add(
+        layout="indexed (paper)",
+        lines_per_query=with_index,
+        relative=1.0,
+    )
+    table.add(
+        layout="flat-scan",
+        lines_per_query=without_index,
+        relative=round(without_index / with_index, 2),
+    )
+    table.note(
+        "the index cache line keeps a regular-node search at 3 lines "
+        "(section 4.1)"
+    )
+    return table
+
+
+def run_buffers(machine: Optional[MachineConfig] = None, full: bool = False,
+                key_bits: int = 64, n: int = 1 << 18) -> ExperimentTable:
+    """Double-buffer depth: 2 vs 3 in-flight buckets (section 5.5)."""
+    machine = machine or machine_m1()
+    table = ExperimentTable(
+        "ablation_buffers", "in-flight bucket count (2 vs 3)"
+    )
+    keys, values, _q = dataset_and_queries(n, key_bits)
+    tree = ImplicitHBPlusTree(
+        keys, values, machine=machine, key_bits=key_bits,
+        mem=fresh_mem(machine),
+    )
+    costs = tree.bucket_costs(machine.bucket_size)
+    for buffers in (1, 2, 3):
+        sim = PipelineSimulator(
+            costs, BucketStrategy.DOUBLE_BUFFERED, machine.bucket_size,
+            buffers=buffers,
+        )
+        run_result = sim.run(64)
+        table.add(
+            buffers=buffers,
+            mqps=round(
+                machine.bucket_size * 1e3 / run_result.steady_state_bucket_ns,
+                2,
+            ),
+            mean_latency_us=round(run_result.mean_latency_ns / 1e3, 1),
+        )
+    table.note(
+        "paper: 2 buffers for CPU-bound systems (lower latency), 3 for "
+        "the load-balanced variant (hides GPU scheduling)"
+    )
+    return table

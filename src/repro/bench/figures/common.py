@@ -1,0 +1,49 @@
+"""Shared plumbing for the figure benchmarks."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.memsim.mainmem import MemorySystem
+from repro.platform.configs import SCALE_FACTOR, MachineConfig
+from repro.workloads.generators import generate_dataset
+from repro.workloads.queries import make_point_queries
+
+#: default dataset sizes of the sweeps.  The paper sweeps 8M (2^23) to
+#: 1B (2^30); divided by SCALE_FACTOR=64 that is 2^17..2^24.  The quick
+#: default covers the low half; ``full=True`` extends toward the top.
+QUICK_SIZES: List[int] = [1 << 16, 1 << 17, 1 << 18, 1 << 19]
+FULL_SIZES: List[int] = [1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20, 1 << 21]
+
+#: how many sample queries instrumented profiles use
+PROFILE_QUERIES = 2048
+
+
+def sweep_sizes(full: bool = False) -> List[int]:
+    return FULL_SIZES if full else QUICK_SIZES
+
+
+def paper_n(n: int) -> str:
+    """Label a scaled dataset size with its paper-scale equivalent."""
+    equivalent = n * SCALE_FACTOR
+    if equivalent >= 1 << 30:
+        return f"{equivalent / (1 << 30):.0f}G"
+    if equivalent >= 1 << 20:
+        return f"{equivalent / (1 << 20):.0f}M"
+    return f"{equivalent / (1 << 10):.0f}K"
+
+
+def dataset_and_queries(
+    n: int, key_bits: int = 64, n_queries: int = PROFILE_QUERIES,
+    seed: int = 42,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(keys, values, query stream) for one experiment point."""
+    keys, values = generate_dataset(n, key_bits=key_bits, seed=seed)
+    queries = make_point_queries(keys, n_queries, seed=seed + 1)
+    return keys, values, queries
+
+
+def fresh_mem(machine: MachineConfig) -> MemorySystem:
+    return MemorySystem.from_spec(machine.cpu)

@@ -1,0 +1,61 @@
+"""Fig 14 — update method crossover over batch size (section 6.3).
+
+On a 64M-tuple tree (scaled: 1M) the total batch-update time of the
+synchronized and asynchronous methods crosses: synchronized wins for
+small batches (it avoids the full I-segment transfer), asynchronous
+wins for large ones (the one big transfer amortizes).  Paper crossover:
+between 64K and 128K queries; scaled by 64 that is between 1K and 2K.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.figures.common import dataset_and_queries, fresh_mem, paper_n
+from repro.bench.harness import ExperimentTable
+from repro.core.hbtree import HBPlusTree
+from repro.core.update import AsyncBatchUpdater, SyncUpdater
+from repro.platform.configs import SCALE_FACTOR, MachineConfig, machine_m1
+from repro.workloads.queries import make_insert_batch
+
+BATCHES = [128, 256, 512, 1024, 2048, 4096]
+
+
+def run(machine: Optional[MachineConfig] = None, full: bool = False,
+        key_bits: int = 64, n: int = 1 << 20) -> ExperimentTable:
+    machine = machine or machine_m1()
+    if not full:
+        n = 1 << 18  # quick mode: smaller tree, same qualitative shape
+    table = ExperimentTable(
+        "fig14",
+        f"sync vs async update time over batch size (tree {paper_n(n)})",
+    )
+    keys, values, _q = dataset_and_queries(n, key_bits)
+    batches = BATCHES if full else BATCHES[:5]
+    for batch in batches:
+        upd_keys, upd_vals = make_insert_batch(keys, batch, key_bits)
+        tree = HBPlusTree(
+            keys, values, machine=machine, key_bits=key_bits,
+            mem=fresh_mem(machine), fill=0.7,
+        )
+        sync_stats = SyncUpdater(tree).apply(upd_keys, upd_vals)
+        tree = HBPlusTree(
+            keys, values, machine=machine, key_bits=key_bits,
+            mem=fresh_mem(machine), fill=0.7,
+        )
+        async_stats = AsyncBatchUpdater(tree).apply(
+            upd_keys, upd_vals, transfer=True
+        )
+        table.add(
+            batch=batch,
+            paper_batch=batch * SCALE_FACTOR,
+            sync_ms=round(sync_stats.total_ns / 1e6, 3),
+            async_ms=round(async_stats.total_ns / 1e6, 3),
+            winner="sync" if sync_stats.total_ns < async_stats.total_ns
+            else "async",
+        )
+    table.note(
+        "paper: sync faster up to 64K-query batches, async faster from "
+        "128K (scaled: crossover expected between 1K and 2K)"
+    )
+    return table

@@ -1,0 +1,103 @@
+"""Fig 16 — the headline result: HB+-tree vs CPU-optimized B+-tree.
+
+(a) search throughput with 64-bit keys,
+(b) search throughput with 32-bit keys,
+(c) search latency with 64-bit keys.
+
+Expected shape: the implicit HB+-tree is nearly flat across tree sizes
+(CPU-leaf-stage bound) peaking around 240 MQPS; the regular HB+-tree
+declines slowly; both CPU trees decline markedly as the tree outgrows
+the LLC.  Average hybrid advantage: 2.4x (64-bit) / 2.1x (32-bit);
+hybrid latency ~67x the CPU tree's (more queries must be in flight).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.figures.common import (
+    dataset_and_queries,
+    fresh_mem,
+    paper_n,
+    sweep_sizes,
+)
+from repro.bench.harness import ExperimentTable, geometric_mean
+from repro.bench.profiling import cpu_tree_performance
+from repro.core.hbtree import HBPlusTree
+from repro.core.hbtree_implicit import ImplicitHBPlusTree
+from repro.core.pipeline import (
+    BucketStrategy,
+    strategy_latency_ns,
+    strategy_throughput_qps,
+)
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.cpu.btree_regular import RegularCpuBPlusTree
+from repro.platform.configs import MachineConfig, machine_m1
+
+
+def run(machine: Optional[MachineConfig] = None, full: bool = False,
+        key_bits: int = 64) -> ExperimentTable:
+    machine = machine or machine_m1()
+    table = ExperimentTable(
+        "fig16",
+        f"HB+-tree vs CPU-optimized B+-tree ({key_bits}-bit keys)",
+    )
+    bucket = machine.bucket_size
+    ratios_impl, ratios_reg = [], []
+    for n in sweep_sizes(full):
+        keys, values, queries = dataset_and_queries(n, key_bits)
+
+        cpu_impl = ImplicitCpuBPlusTree(
+            keys, values, key_bits=key_bits, mem=fresh_mem(machine)
+        )
+        qps_ci, lat_ci, _ = cpu_tree_performance(cpu_impl, machine, queries)
+        cpu_reg = RegularCpuBPlusTree(
+            keys, values, key_bits=key_bits, mem=fresh_mem(machine)
+        )
+        qps_cr, lat_cr, _ = cpu_tree_performance(cpu_reg, machine, queries)
+
+        hb_impl = ImplicitHBPlusTree(
+            keys, values, machine=machine, key_bits=key_bits,
+            mem=fresh_mem(machine),
+        )
+        costs_i = hb_impl.bucket_costs(bucket, sample=queries)
+        qps_hi = strategy_throughput_qps(
+            costs_i, BucketStrategy.DOUBLE_BUFFERED, bucket
+        )
+        lat_hi = strategy_latency_ns(
+            costs_i, BucketStrategy.DOUBLE_BUFFERED, bucket
+        )
+
+        hb_reg = HBPlusTree(
+            keys, values, machine=machine, key_bits=key_bits,
+            mem=fresh_mem(machine),
+        )
+        costs_r = hb_reg.bucket_costs(bucket, sample=queries)
+        qps_hr = strategy_throughput_qps(
+            costs_r, BucketStrategy.DOUBLE_BUFFERED, bucket
+        )
+        lat_hr = strategy_latency_ns(
+            costs_r, BucketStrategy.DOUBLE_BUFFERED, bucket
+        )
+
+        ratios_impl.append(qps_hi / qps_ci)
+        ratios_reg.append(qps_hr / qps_cr)
+        for label, qps, lat in (
+            ("cpu-implicit", qps_ci, lat_ci),
+            ("cpu-regular", qps_cr, lat_cr),
+            ("hb-implicit", qps_hi, lat_hi),
+            ("hb-regular", qps_hr, lat_hr),
+        ):
+            table.add(
+                n=n,
+                paper_n=paper_n(n),
+                tree=label,
+                mqps=round(qps / 1e6, 2),
+                latency_us=round(lat / 1e3, 2),
+            )
+    table.note(
+        f"geomean hybrid/CPU ratio: implicit {geometric_mean(ratios_impl):.2f}, "
+        f"regular {geometric_mean(ratios_reg):.2f} "
+        "(paper: 2.4x avg for 64-bit, up to 2.9x; latency ~67x higher)"
+    )
+    return table

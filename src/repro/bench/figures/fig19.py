@@ -1,0 +1,61 @@
+"""Fig 19 (appendix B.1) — HB+-tree lookup using only the CPU.
+
+The HB+-tree's I-segment also lives in CPU memory, so it can be
+searched CPU-only.  The implicit HB+-tree's fanout is 8 instead of 9
+(one key sacrificed for the GPU thread hierarchy), making it slightly
+deeper and hence slower than the CPU-optimized implicit tree; the
+regular versions share identical node structures and perform the same.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.figures.common import (
+    dataset_and_queries,
+    fresh_mem,
+    paper_n,
+    sweep_sizes,
+)
+from repro.bench.harness import ExperimentTable
+from repro.bench.profiling import cpu_tree_performance
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.cpu.btree_regular import RegularCpuBPlusTree
+from repro.keys import key_spec
+from repro.platform.configs import MachineConfig, machine_m1
+
+
+def run(machine: Optional[MachineConfig] = None, full: bool = False,
+        key_bits: int = 64) -> ExperimentTable:
+    machine = machine or machine_m1()
+    spec = key_spec(key_bits)
+    table = ExperimentTable("fig19", "HB+-tree lookup using the CPU only")
+    for n in sweep_sizes(full):
+        keys, values, queries = dataset_and_queries(n, key_bits)
+        variants = [
+            ("cpu-implicit-f9", ImplicitCpuBPlusTree(
+                keys, values, key_bits=key_bits, mem=fresh_mem(machine),
+                fanout=spec.implicit_cpu_fanout,
+            )),
+            ("hb-implicit-f8", ImplicitCpuBPlusTree(
+                keys, values, key_bits=key_bits, mem=fresh_mem(machine),
+                fanout=spec.implicit_hybrid_fanout,
+            )),
+            ("regular", RegularCpuBPlusTree(
+                keys, values, key_bits=key_bits, mem=fresh_mem(machine),
+            )),
+        ]
+        for label, tree in variants:
+            qps, _lat, profile = cpu_tree_performance(tree, machine, queries)
+            table.add(
+                n=n,
+                paper_n=paper_n(n),
+                tree=label,
+                height=tree.height,
+                mqps=round(qps / 1e6, 2),
+            )
+    table.note(
+        "paper: CPU-optimized implicit (fanout 9) beats the hybrid's "
+        "fanout-8 layout; regular versions are identical by construction"
+    )
+    return table

@@ -1,0 +1,51 @@
+"""Fig 20 (appendix B.2) — software pipelining length sweep.
+
+Lookup throughput (a) and latency (b) for pipeline lengths 1-32.
+Expected shape: throughput improves up to ~2.5x and saturates at
+P = 16 (line-fill buffers exhausted); latency grows with P (~6x at 16).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.figures.common import dataset_and_queries, fresh_mem, paper_n
+from repro.bench.harness import ExperimentTable
+from repro.bench.profiling import cpu_tree_performance
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.platform.configs import MachineConfig, machine_m1
+
+LENGTHS = [1, 2, 4, 8, 16, 32]
+
+
+def run(machine: Optional[MachineConfig] = None, full: bool = False,
+        key_bits: int = 64, n: int = 1 << 19) -> ExperimentTable:
+    machine = machine or machine_m1()
+    if full:
+        n = 1 << 21
+    table = ExperimentTable(
+        "fig20", f"software pipeline length sweep (n={paper_n(n)})"
+    )
+    keys, values, queries = dataset_and_queries(n, key_bits)
+    tree = ImplicitCpuBPlusTree(
+        keys, values, key_bits=key_bits, mem=fresh_mem(machine)
+    )
+    base_qps = base_lat = None
+    for p in LENGTHS:
+        qps, lat, _profile = cpu_tree_performance(
+            tree, machine, queries, pipeline_len=p
+        )
+        if p == 1:
+            base_qps, base_lat = qps, lat
+        table.add(
+            pipeline_len=p,
+            mqps=round(qps / 1e6, 2),
+            latency_us=round(lat / 1e3, 3),
+            speedup=round(qps / base_qps, 2),
+            latency_factor=round(lat / base_lat, 2),
+        )
+    table.note(
+        "paper: throughput saturates at P=16 (~2.5x over P=1); latency "
+        "~6x at P=16"
+    )
+    return table

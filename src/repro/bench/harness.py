@@ -1,0 +1,91 @@
+"""Small experiment-table infrastructure shared by all figure benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+Row = Dict[str, Any]
+
+
+@dataclass
+class ExperimentTable:
+    """An experiment's output: titled rows, printable as a table."""
+
+    experiment: str
+    description: str
+    rows: List[Row] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **kwargs: Any) -> None:
+        self.rows.append(dict(kwargs))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def columns(self) -> List[str]:
+        cols: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def select(self, **filters: Any) -> List[Row]:
+        """Rows matching all the given column=value filters."""
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in filters.items()):
+                out.append(row)
+        return out
+
+    def value(self, column: str, **filters: Any) -> Any:
+        """The single value of ``column`` in the row matching filters."""
+        rows = self.select(**filters)
+        if len(rows) != 1:
+            raise KeyError(
+                f"expected exactly one row for {filters}, found {len(rows)}"
+            )
+        return rows[0][column]
+
+    def format(self, float_digits: int = 2) -> str:
+        """Render an aligned text table."""
+        cols = self.columns()
+        if not cols:
+            return f"== {self.experiment} ==\n(no rows)\n"
+
+        def fmt(v: Any) -> str:
+            if isinstance(v, float):
+                return f"{v:.{float_digits}f}"
+            return str(v)
+
+        table = [[fmt(row.get(c, "")) for c in cols] for row in self.rows]
+        widths = [
+            max(len(c), *(len(r[i]) for r in table)) if table else len(c)
+            for i, c in enumerate(cols)
+        ]
+        lines = [f"== {self.experiment}: {self.description} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in table:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; the right average for throughput ratios."""
+    vals = [v for v in values if v and v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,96 @@
+"""Terminal plotting for experiment tables (no plotting dependencies).
+
+The paper's figures are line/bar charts; the benchmarks print tables.
+These helpers render an :class:`ExperimentTable` as ASCII charts so a
+``run_all`` session can eyeball the *shapes* directly:
+
+* :func:`bar_chart` — one bar per row of a (label, value) projection,
+* :func:`series_chart` — multi-series line-ish chart over an x column
+  (one glyph per series), used for the size sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.harness import ExperimentTable
+
+GLYPHS = "ox+*#@%&"
+
+
+def bar_chart(
+    table: ExperimentTable,
+    label_col: str,
+    value_col: str,
+    width: int = 50,
+    **filters,
+) -> str:
+    """Horizontal bars for the selected rows."""
+    rows = table.select(**filters) if filters else table.rows
+    rows = [r for r in rows if value_col in r and r[value_col] is not None]
+    if not rows:
+        return "(no data)"
+    values = [float(r[value_col]) for r in rows]
+    peak = max(values) or 1.0
+    label_w = max(len(str(r[label_col])) for r in rows)
+    lines = [f"{value_col} by {label_col}"]
+    for row, value in zip(rows, values):
+        bar = "#" * max(1, round(value / peak * width))
+        lines.append(
+            f"{str(row[label_col]).rjust(label_w)} | "
+            f"{bar} {value:g}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    table: ExperimentTable,
+    x_col: str,
+    y_col: str,
+    series_col: Optional[str] = None,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """A scatter chart of y over x, one glyph per series value."""
+    rows = [r for r in table.rows
+            if r.get(x_col) is not None and r.get(y_col) is not None]
+    if not rows:
+        return "(no data)"
+    xs = sorted({float(r[x_col]) for r in rows})
+    series = (
+        sorted({str(r[series_col]) for r in rows}) if series_col else [""]
+    )
+    ys = [float(r[y_col]) for r in rows]
+    y_max = max(ys) or 1.0
+    y_min = min(0.0, min(ys))
+    grid = [[" "] * width for _ in range(height)]
+
+    def x_pos(x: float) -> int:
+        if len(xs) == 1:
+            return width // 2
+        return round((xs.index(x)) / (len(xs) - 1) * (width - 1))
+
+    def y_pos(y: float) -> int:
+        span = y_max - y_min or 1.0
+        return (height - 1) - round((y - y_min) / span * (height - 1))
+
+    for row in rows:
+        s = str(row[series_col]) if series_col else ""
+        glyph = GLYPHS[series.index(s) % len(GLYPHS)]
+        grid[y_pos(float(row[y_col]))][x_pos(float(row[x_col]))] = glyph
+
+    lines = [f"{y_col} over {x_col}"
+             + (f" (series: {series_col})" if series_col else "")]
+    lines.append(f"{y_max:>10.4g} +" + "".join(grid[0]))
+    for rank in range(1, height):
+        prefix = f"{y_min:>10.4g} +" if rank == height - 1 else " " * 11 + "|"
+        lines.append(prefix + "".join(grid[rank]))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{xs[0]:g} .. {xs[-1]:g}")
+    if series_col:
+        legend = "  ".join(
+            f"{GLYPHS[i % len(GLYPHS)]}={name}"
+            for i, name in enumerate(series)
+        )
+        lines.append(" " * 12 + legend)
+    return "\n".join(lines)

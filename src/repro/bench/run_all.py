@@ -1,0 +1,91 @@
+"""Regenerate every figure table: ``python -m repro.bench.run_all``.
+
+Options:
+    --full      larger datasets (slower, closer to the paper's sweep)
+    --only ID   run a single experiment (e.g. --only fig16)
+    --out FILE  additionally write the tables as a markdown report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.figures import REGISTRY
+
+
+def _markdown(table) -> str:
+    cols = table.columns()
+    if not cols:
+        return f"### {table.experiment}\n(no rows)\n"
+    lines = [f"### {table.experiment}: {table.description}", ""]
+    lines.append("| " + " | ".join(cols) + " |")
+    lines.append("|" + "|".join("---" for _ in cols) + "|")
+    for row in table.rows:
+        lines.append(
+            "| " + " | ".join(str(row.get(c, "")) for c in cols) + " |"
+        )
+    for note in table.notes:
+        lines.append(f"\n*{note}*")
+    return "\n".join(lines) + "\n"
+
+
+def _auto_chart(table) -> str:
+    """Pick a reasonable chart projection for a table, if one exists."""
+    from repro.bench.plotting import series_chart
+
+    cols = table.columns()
+    y = next((c for c in cols if c in ("mqps", "muqps", "async_mops",
+                                       "transfer_pct")), None)
+    x = next((c for c in cols if c in ("n", "bucket", "batch", "matches",
+                                       "pipeline_len", "update_pct")), None)
+    if x is None or y is None or x == y:
+        return ""
+    series = next(
+        (c for c in cols
+         if c in ("tree", "config", "variant", "method", "strategy",
+                  "distribution") and c != x),
+        None,
+    )
+    return series_chart(table, x, y, series_col=series)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the full-size dataset sweep")
+    parser.add_argument("--only", default=None,
+                        help="run a single experiment id")
+    parser.add_argument("--out", default=None,
+                        help="write a markdown report to this file")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render ASCII charts of the sweeps")
+    args = parser.parse_args(argv)
+
+    ids = [args.only] if args.only else list(REGISTRY)
+    report = ["# HB+-tree reproduction — experiment report", ""]
+    for exp_id in ids:
+        if exp_id not in REGISTRY:
+            print(f"unknown experiment {exp_id!r}; known: {sorted(REGISTRY)}")
+            return 2
+        start = time.time()
+        table = REGISTRY[exp_id](full=args.full)
+        elapsed = time.time() - start
+        print(table.format())
+        if args.plot:
+            chart = _auto_chart(table)
+            if chart:
+                print(chart)
+                print()
+        print(f"[{exp_id} completed in {elapsed:.1f}s]\n")
+        report.append(_markdown(table))
+    if args.out:
+        Path(args.out).write_text("\n".join(report))
+        print(f"markdown report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

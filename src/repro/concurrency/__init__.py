@@ -1,0 +1,28 @@
+"""Discrete-event simulation of logical CPU threads and locks.
+
+The paper's update methods rely on multi-threaded execution with
+per-node locks (section 5.6) and a mutex-guarded query thread pool
+(appendix B.3).  This package provides the substrate to simulate that
+faithfully instead of with closed-form formulas:
+
+* :mod:`repro.concurrency.locks` — a lock table with contention
+  accounting,
+* :mod:`repro.concurrency.scheduler` — an event-driven scheduler that
+  runs operation lists over N logical threads, blocking on held locks
+  and reporting makespan, busy/wait time and contention.
+"""
+
+from repro.concurrency.locks import LockStats, LockTable
+from repro.concurrency.scheduler import (
+    Operation,
+    ScheduleResult,
+    ThreadScheduler,
+)
+
+__all__ = [
+    "LockTable",
+    "LockStats",
+    "Operation",
+    "ThreadScheduler",
+    "ScheduleResult",
+]

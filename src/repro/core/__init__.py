@@ -1,0 +1,38 @@
+"""The paper's contribution: the hybrid CPU-GPU B+-tree.
+
+* :mod:`repro.core.hbtree_implicit` — implicit HB+-tree (section 5.2),
+* :mod:`repro.core.hbtree` — regular HB+-tree,
+* :mod:`repro.core.buckets` / :mod:`repro.core.pipeline` — bucket
+  decomposition and the sequential / pipelined / double-buffered bucket
+  scheduling strategies (section 5.4, Figs 5-6),
+* :mod:`repro.core.load_balance` — the D/R load balancing scheme and
+  its discovery algorithm (section 5.5, Algorithm 1),
+* :mod:`repro.core.update` — batch update execution (section 5.6).
+"""
+
+from repro.core.buckets import iter_buckets, num_buckets
+from repro.core.hbtree import HBPlusTree
+from repro.core.hbtree_implicit import ImplicitHBPlusTree
+from repro.core.load_balance import DiscoveryResult, LoadBalancer
+from repro.core.pipeline import BucketStrategy, PipelineSimulator
+from repro.core.update import (
+    AsyncBatchUpdater,
+    ImplicitRebuildStats,
+    SyncUpdater,
+    UpdateStats,
+)
+
+__all__ = [
+    "HBPlusTree",
+    "ImplicitHBPlusTree",
+    "iter_buckets",
+    "num_buckets",
+    "BucketStrategy",
+    "PipelineSimulator",
+    "LoadBalancer",
+    "DiscoveryResult",
+    "AsyncBatchUpdater",
+    "SyncUpdater",
+    "UpdateStats",
+    "ImplicitRebuildStats",
+]

@@ -1,0 +1,33 @@
+"""Query bucketing (paper section 5.4).
+
+Incoming queries are broken into buckets of ``M`` (default 16K, the
+optimum found in Fig 11) which are then scheduled through the CPU-GPU
+pipeline.  ``M`` trades throughput (amortizing ``T_init``/``K_init``)
+against latency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+DEFAULT_BUCKET_SIZE = 16 * 1024
+
+
+def num_buckets(n_queries: int, bucket_size: int = DEFAULT_BUCKET_SIZE) -> int:
+    """Number of buckets a query stream decomposes into."""
+    if bucket_size <= 0:
+        raise ValueError("bucket size must be positive")
+    return -(-n_queries // bucket_size)
+
+
+def iter_buckets(
+    queries: Sequence, bucket_size: int = DEFAULT_BUCKET_SIZE
+) -> Iterator[np.ndarray]:
+    """Yield the query stream in buckets of at most ``bucket_size``."""
+    if bucket_size <= 0:
+        raise ValueError("bucket size must be positive")
+    q = np.asarray(queries)
+    for start in range(0, len(q), bucket_size):
+        yield q[start: start + bucket_size]

@@ -1,0 +1,298 @@
+"""The regular HB+-tree (paper section 5).
+
+The CPU side is :class:`RegularCpuBPlusTree` unchanged — "the inner
+nodes are identical" to the CPU-optimized tree (section 5.2).  The
+I-segment (all inner nodes) is additionally mirrored into GPU device
+memory, packed per node as ``index line | key lines | ref lines``
+(1 + 2K cache lines, Fig 2c), upper-pool nodes first and last-level
+nodes behind them.
+
+Mirror detail: in each node's device copy the key of its *last used
+slot* is pinned to the maximum representable value ("the last keys of
+all inner nodes of HB+-tree are always set to the maximum", section
+5.3) so the GPU kernel needs no node sizes and every query always finds
+a successor — including probes beyond the largest stored key, which
+fall through the rightmost path.
+
+Search is the bucket flow of section 5.4 with the 3-step node search of
+section 5.3 on the GPU; the result of the last-level search directly
+addresses the target cache line inside the big leaf.  Batch updates are
+implemented in :mod:`repro.core.update`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cpu.btree_regular import RegularCpuBPlusTree
+from repro.cpu.node_search import NodeSearchAlgorithm
+from repro.gpusim.device import GpuDevice
+from repro.gpusim.kernels.regular_search import (
+    launch_regular_search,
+    regular_search_vectorized,
+)
+from repro.gpusim.transfer import PcieLink
+from repro.keys import key_spec
+from repro.memsim.mainmem import MemorySystem, PageConfig
+from repro.platform.configs import MachineConfig
+from repro.platform.costmodel import (
+    BucketCosts,
+    CpuCostModel,
+    CpuQueryProfile,
+    hybrid_bucket_costs,
+)
+
+
+@dataclass
+class GpuSearchResult:
+    """Outcome of the GPU stage: packed (node, leaf-line) codes."""
+
+    codes: np.ndarray
+    transactions: int
+
+    @property
+    def transactions_per_query(self) -> float:
+        if len(self.codes) == 0:
+            return 0.0
+        return self.transactions / len(self.codes)
+
+
+class HBPlusTree:
+    """Hybrid regular B+-tree over a machine's CPU + GPU."""
+
+    def __init__(
+        self,
+        keys: Sequence[int] = (),
+        values: Sequence[int] = (),
+        machine: Optional[MachineConfig] = None,
+        key_bits: int = 64,
+        mem: Optional[MemorySystem] = None,
+        page_config: PageConfig = PageConfig.HUGE_SMALL,
+        algorithm: NodeSearchAlgorithm = NodeSearchAlgorithm.HIERARCHICAL_SIMD,
+        fill: float = 1.0,
+    ):
+        if machine is None:
+            raise ValueError("HBPlusTree requires a MachineConfig")
+        self.machine = machine
+        self.spec = key_spec(key_bits)
+        self.mem = mem if mem is not None else MemorySystem.from_spec(machine.cpu)
+        self.device = GpuDevice(machine.gpu)
+        self.link = PcieLink(machine.pcie)
+        self.cpu_tree = RegularCpuBPlusTree(
+            keys,
+            values,
+            key_bits=key_bits,
+            mem=self.mem,
+            page_config=page_config,
+            algorithm=algorithm,
+            segment_prefix="hb_regular",
+            fill=fill,
+        )
+        self.mirror_i_segment()
+
+    # ------------------------------------------------------------------
+    # GPU mirror
+
+    @property
+    def node_stride(self) -> int:
+        """Elements per mirrored node: index line + keys + refs."""
+        kpl = self.spec.keys_per_line
+        return kpl + 2 * self.cpu_tree.fanout
+
+    def _pack_node(self, pool, node: int) -> np.ndarray:
+        """Device image of one inner node (with the MAX catch-all pin)."""
+        kpl = self.spec.keys_per_line
+        fanout = self.cpu_tree.fanout
+        keys = pool.keys[node].copy()
+        size = max(1, int(pool.size[node]))
+        keys[size - 1] = self.spec.max_value
+        index_line = keys.reshape(kpl, kpl)[:, -1]
+        out = np.empty(self.node_stride, dtype=np.uint64)
+        out[:kpl] = index_line.astype(np.uint64)
+        out[kpl: kpl + fanout] = keys.astype(np.uint64)
+        out[kpl + fanout:] = pool.refs[node].astype(np.uint64)
+        return out
+
+    def mirror_i_segment(self) -> float:
+        """Rebuild + upload the full I-segment mirror; returns time ns."""
+        tree = self.cpu_tree
+        upper_n = tree.upper.count
+        last_n = tree.last.count
+        stride = self.node_stride
+        flat = np.zeros((upper_n + last_n) * stride, dtype=np.uint64)
+        for node in range(upper_n):
+            flat[node * stride: (node + 1) * stride] = self._pack_node(
+                tree.upper, node
+            )
+        for node in range(last_n):
+            slot = upper_n + node
+            flat[slot * stride: (slot + 1) * stride] = self._pack_node(
+                tree.last, node
+            )
+        self.last_base = upper_n
+        t = self.link.to_device(self.device.memory, "iseg_regular", flat)
+        self.iseg_buffer = self.device.memory.get("iseg_regular")
+        return t
+
+    def sync_node(self, level: int, node: int) -> float:
+        """Push one modified inner node to the GPU mirror (section 5.6
+        synchronized update).  Returns the transfer time in ns.
+
+        Falls back to a full mirror rebuild when the pools outgrew the
+        mirrored capacity (new nodes from splits).
+        """
+        tree = self.cpu_tree
+        stride = self.node_stride
+        slot = node + (self.last_base if level == 0 else 0)
+        if (slot + 1) * stride > self.iseg_buffer.array.size or (
+            level > 0 and node >= self.last_base
+        ):
+            return self.mirror_i_segment()
+        pool = tree.last if level == 0 else tree.upper
+        packed = self._pack_node(pool, node)
+        return self.link.update_device(
+            self.device.memory, "iseg_regular", packed, offset_elems=slot * stride
+        )
+
+    @property
+    def i_segment_bytes(self) -> int:
+        return self.iseg_buffer.nbytes
+
+    @property
+    def height(self) -> int:
+        return self.cpu_tree.height
+
+    @property
+    def teams_per_warp(self) -> int:
+        return max(1, self.machine.gpu.warp_size // self.spec.gpu_threads_per_query)
+
+    # ------------------------------------------------------------------
+    # search
+
+    def gpu_search_bucket(self, queries: np.ndarray) -> GpuSearchResult:
+        """Stage 2: 3-step descent of all inner levels on the GPU."""
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        codes, txns = regular_search_vectorized(
+            self.iseg_buffer.array,
+            self.node_stride,
+            self.spec.keys_per_line,
+            self.cpu_tree.fanout,
+            self.cpu_tree.height,
+            self.cpu_tree.root,
+            self.last_base,
+            q,
+            teams_per_warp=self.teams_per_warp,
+        )
+        self.device.kernel_launches += 1
+        self.device.memory.counters.transactions_64 += txns
+        self.device.memory.counters.bytes_moved += txns * 64
+        return GpuSearchResult(codes=codes, transactions=txns)
+
+    def gpu_search_bucket_literal(self, queries: np.ndarray) -> np.ndarray:
+        """Stage 2 on the literal SIMT interpreter (slow; for tests)."""
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        codes, _stats = launch_regular_search(
+            self.device,
+            self.iseg_buffer,
+            self.node_stride,
+            self.spec.keys_per_line,
+            self.cpu_tree.fanout,
+            self.cpu_tree.height,
+            self.cpu_tree.root,
+            self.last_base,
+            q,
+        )
+        return codes
+
+    def cpu_finish_bucket(
+        self, queries: np.ndarray, codes: np.ndarray
+    ) -> np.ndarray:
+        """Stage 4: search the addressed big-leaf cache lines."""
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        tree = self.cpu_tree
+        fanout = tree.fanout
+        node = (codes // fanout).astype(np.int64)
+        line = (codes % fanout).astype(np.int64)
+        p = self.spec.leaf_pairs_per_line
+        base = line * p
+        rows = tree.leaves.keys[node[:, None], base[:, None] + np.arange(p)]
+        pos = np.sum(rows < q[:, None], axis=1)
+        pos_c = np.minimum(pos, p - 1)
+        found = rows[np.arange(len(q)), pos_c] == q
+        out = np.full(len(q), self.spec.max_value, dtype=self.spec.dtype)
+        idx = np.arange(len(q))[found]
+        out[found] = tree.leaves.values[node[idx], base[idx] + pos_c[idx]]
+        return out
+
+    def lookup_batch(self, queries: Sequence[int]) -> np.ndarray:
+        """Full hybrid lookup; the sentinel value marks not-found."""
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        result = self.gpu_search_bucket(q)
+        return self.cpu_finish_bucket(q, result.codes)
+
+    def lookup(self, key: int) -> Optional[int]:
+        out = self.lookup_batch(np.asarray([key], dtype=self.spec.dtype))
+        val = int(out[0])
+        return None if val == self.spec.max_value else val
+
+    def range_query(self, lo: int, hi: int):
+        return self.cpu_tree.range_query(lo, hi)
+
+    # ------------------------------------------------------------------
+    # profiling / cost model
+
+    def profile_leaf_stage(self, sample_queries: np.ndarray) -> CpuQueryProfile:
+        q = np.asarray(sample_queries, dtype=self.spec.dtype)
+        result = self.gpu_search_bucket(q)
+        tree = self.cpu_tree
+        node = (result.codes // tree.fanout).astype(np.int64)
+        line = (result.codes % tree.fanout).astype(np.int64)
+        self.mem.reset_counters()
+        tree._ensure_segments()
+        for n, ln in zip(node.tolist(), line.tolist()):
+            tree._touch_leaf_line(int(n), int(ln))
+        counters = self.mem.counters
+        counters.queries = len(q)
+        return CpuQueryProfile.from_counters(counters, node_searches_per_query=1.0)
+
+    def bucket_costs(
+        self,
+        bucket_size: Optional[int] = None,
+        sample: Optional[np.ndarray] = None,
+        cpu_model: Optional[CpuCostModel] = None,
+    ) -> BucketCosts:
+        bucket_size = bucket_size or self.machine.bucket_size
+        if sample is None:
+            rng = np.random.default_rng(5)
+            stored = np.asarray([k for k, _v in self.cpu_tree.items()],
+                                dtype=self.spec.dtype)
+            sample = rng.choice(stored, size=min(4096, len(stored)))
+        gpu_result = self.gpu_search_bucket(
+            np.asarray(sample, dtype=self.spec.dtype)
+        )
+        leaf_profile = self.profile_leaf_stage(sample)
+        return hybrid_bucket_costs(
+            self.machine,
+            self.spec,
+            bucket_size,
+            gpu_transactions_per_query=gpu_result.transactions_per_query,
+            gpu_levels=3.0 * self.cpu_tree.height,
+            cpu_leaf_profile=leaf_profile,
+            cpu_model=cpu_model,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HBPlusTree(n={len(self.cpu_tree)}, "
+            f"height={self.height}, machine={self.machine.name!r}, "
+            f"iseg={self.i_segment_bytes}B)"
+        )
+
+    def __len__(self) -> int:
+        return len(self.cpu_tree)
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key) is not None

@@ -1,0 +1,325 @@
+"""The implicit HB+-tree (paper sections 5.1-5.4, 5.6).
+
+Layout (Fig 4): the I-segment (all inner nodes, breadth-first) is
+*mirrored* in CPU and GPU memory; the L-segment (leaves) resides in CPU
+memory only.  Inner-node fanout is reduced to ``keys_per_line`` (8 for
+64-bit keys) so one GPU thread per key searches a node without warp
+divergence, with catch-all keys pinned to the maximum value.
+
+A point-lookup bucket flows:
+
+1. queries transfer to GPU memory            (T1)
+2. the GPU kernel walks all inner levels      (T2)
+3. leaf indexes transfer back                 (T3)
+4. the CPU searches the target leaves         (T4)
+
+Updates rebuild the whole tree and re-upload the I-segment
+(section 5.6; Fig 15 measures the phases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.cpu.node_search import NodeSearchAlgorithm
+from repro.gpusim.device import GpuDevice
+from repro.gpusim.kernels.implicit_search import (
+    implicit_search_vectorized,
+    launch_implicit_search,
+)
+from repro.gpusim.transfer import PcieLink
+from repro.keys import key_spec
+from repro.memsim.mainmem import MemorySystem, PageConfig
+from repro.platform.configs import MachineConfig
+from repro.platform.costmodel import (
+    BucketCosts,
+    CpuCostModel,
+    CpuQueryProfile,
+    hybrid_bucket_costs,
+)
+
+
+@dataclass
+class GpuSearchResult:
+    """Outcome of the GPU inner-node stage for one bucket."""
+
+    leaf_indices: np.ndarray
+    transactions: int
+
+    @property
+    def transactions_per_query(self) -> float:
+        if len(self.leaf_indices) == 0:
+            return 0.0
+        return self.transactions / len(self.leaf_indices)
+
+
+@dataclass
+class RebuildTimes:
+    """Phase times of one implicit-tree rebuild (Fig 15)."""
+
+    l_segment_ns: float
+    i_segment_ns: float
+    transfer_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return self.l_segment_ns + self.i_segment_ns + self.transfer_ns
+
+    @property
+    def transfer_fraction(self) -> float:
+        rebuild = self.l_segment_ns + self.i_segment_ns
+        return self.transfer_ns / rebuild if rebuild else 0.0
+
+
+#: effective passes over the data a rebuild makes (merge of the update
+#: batch + leaf packing + inner-level stacking); drives Fig 15's
+#: rebuild-vs-transfer proportions
+REBUILD_PASSES = 10.0
+
+#: passes for the linear-merge rebuild path: the contents are already
+#: sorted, so no re-sort is needed (merge + pack + stack)
+MERGE_PASSES = 4.0
+
+
+class ImplicitHBPlusTree:
+    """Hybrid implicit B+-tree over a machine's CPU + GPU."""
+
+    def __init__(
+        self,
+        keys: Sequence[int],
+        values: Sequence[int],
+        machine: MachineConfig,
+        key_bits: int = 64,
+        mem: Optional[MemorySystem] = None,
+        page_config: PageConfig = PageConfig.HUGE_SMALL,
+        algorithm: NodeSearchAlgorithm = NodeSearchAlgorithm.HIERARCHICAL_SIMD,
+    ):
+        self.machine = machine
+        self.spec = key_spec(key_bits)
+        self.mem = mem if mem is not None else MemorySystem.from_spec(machine.cpu)
+        self.device = GpuDevice(machine.gpu)
+        self.link = PcieLink(machine.pcie)
+        self.cpu_tree = ImplicitCpuBPlusTree(
+            keys,
+            values,
+            key_bits=key_bits,
+            fanout=self.spec.implicit_hybrid_fanout,
+            mem=self.mem,
+            page_config=page_config,
+            algorithm=algorithm,
+            segment_prefix="hb_implicit",
+        )
+        self.last_rebuild: Optional[RebuildTimes] = None
+        self._mirror_i_segment()
+
+    # ------------------------------------------------------------------
+    # GPU mirror
+
+    def _mirror_i_segment(self) -> float:
+        """(Re)build + upload the flat breadth-first I-segment mirror.
+
+        Returns the simulated transfer time in ns.
+        """
+        fanout = self.cpu_tree.fanout
+        parts: List[np.ndarray] = []
+        offsets: List[int] = []
+        sizes: List[int] = []
+        elem = 0
+        for level in self.cpu_tree.inner_levels:
+            flat = level.reshape(-1)
+            offsets.append(elem)
+            sizes.append(flat.size)
+            parts.append(flat)
+            elem += flat.size
+        if parts:
+            flat_iseg = np.concatenate(parts)
+        else:  # single-leaf tree: a trivial one-node I-segment
+            flat_iseg = np.full(fanout, self.spec.max_value, dtype=self.spec.dtype)
+            offsets, sizes = [0], [fanout]
+        self.level_offsets = offsets
+        self.level_sizes = sizes
+        self.gpu_depth = len(self.cpu_tree.inner_levels)
+        t = self.link.to_device(self.device.memory, "iseg", flat_iseg)
+        self.iseg_buffer = self.device.memory.get("iseg")
+        return t
+
+    @property
+    def i_segment_bytes(self) -> int:
+        return self.iseg_buffer.nbytes
+
+    @property
+    def l_segment_bytes(self) -> int:
+        return self.cpu_tree.l_segment_bytes
+
+    @property
+    def height(self) -> int:
+        return self.cpu_tree.height
+
+    @property
+    def teams_per_warp(self) -> int:
+        return max(1, self.machine.gpu.warp_size // self.spec.gpu_threads_per_query)
+
+    # ------------------------------------------------------------------
+    # search
+
+    def gpu_search_bucket(self, queries: np.ndarray) -> GpuSearchResult:
+        """Stage 2: traverse all inner levels on the (simulated) GPU."""
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        if self.gpu_depth == 0:
+            return GpuSearchResult(
+                leaf_indices=np.zeros(len(q), dtype=np.int64), transactions=0
+            )
+        leaf, txns = implicit_search_vectorized(
+            self.iseg_buffer.array,
+            self.level_offsets,
+            self.level_sizes,
+            self.gpu_depth,
+            self.cpu_tree.fanout,
+            q,
+            teams_per_warp=self.teams_per_warp,
+        )
+        self.device.kernel_launches += 1
+        self.device.memory.counters.transactions_64 += txns
+        self.device.memory.counters.bytes_moved += txns * 64
+        return GpuSearchResult(leaf_indices=leaf, transactions=txns)
+
+    def gpu_search_bucket_literal(self, queries: np.ndarray) -> np.ndarray:
+        """Stage 2 on the literal SIMT interpreter (slow; for tests)."""
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        leaf, _stats = launch_implicit_search(
+            self.device,
+            self.iseg_buffer,
+            self.level_offsets,
+            self.gpu_depth,
+            self.cpu_tree.fanout,
+            q,
+        )
+        return leaf
+
+    def cpu_finish_bucket(
+        self, queries: np.ndarray, leaf_indices: np.ndarray
+    ) -> np.ndarray:
+        """Stage 4: search the target leaves on the CPU."""
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        leaf = np.minimum(leaf_indices, self.cpu_tree.num_leaves - 1)
+        rows = self.cpu_tree.leaf_keys[leaf]
+        pos = np.sum(rows < q[:, None], axis=1)
+        pos_c = np.minimum(pos, rows.shape[1] - 1)
+        found = rows[np.arange(len(q)), pos_c] == q
+        out = np.full(len(q), self.spec.max_value, dtype=self.spec.dtype)
+        out[found] = self.cpu_tree.leaf_values[leaf[found], pos_c[found]]
+        return out
+
+    def lookup_batch(self, queries: Sequence[int]) -> np.ndarray:
+        """Full hybrid lookup; the sentinel value marks not-found."""
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        result = self.gpu_search_bucket(q)
+        return self.cpu_finish_bucket(q, result.leaf_indices)
+
+    def lookup(self, key: int) -> Optional[int]:
+        out = self.lookup_batch(np.asarray([key], dtype=self.spec.dtype))
+        val = int(out[0])
+        return None if val == self.spec.max_value else val
+
+    def range_query(self, lo: int, hi: int):
+        """Range scan: GPU locates the first leaf, CPU walks leaves."""
+        return self.cpu_tree.range_query(lo, hi)
+
+    # ------------------------------------------------------------------
+    # instrumented profiling (feeds the cost model)
+
+    def profile_leaf_stage(self, sample_queries: np.ndarray) -> CpuQueryProfile:
+        """Measure the CPU leaf stage's per-query memory behaviour."""
+        q = np.asarray(sample_queries, dtype=self.spec.dtype)
+        result = self.gpu_search_bucket(q)
+        leaf = np.minimum(result.leaf_indices, self.cpu_tree.num_leaves - 1)
+        self.mem.reset_counters()
+        for index in leaf.tolist():
+            self.mem.touch_line(self.cpu_tree.l_segment, int(index))
+        counters = self.mem.counters
+        counters.queries = len(q)
+        return CpuQueryProfile.from_counters(counters, node_searches_per_query=1.0)
+
+    def bucket_costs(
+        self,
+        bucket_size: Optional[int] = None,
+        sample: Optional[np.ndarray] = None,
+        cpu_model: Optional[CpuCostModel] = None,
+    ) -> BucketCosts:
+        """Derive the paper's T1-T4 for this tree on this machine."""
+        bucket_size = bucket_size or self.machine.bucket_size
+        if sample is None:
+            rng = np.random.default_rng(3)
+            stored = self.cpu_tree.leaf_keys.reshape(-1)
+            stored = stored[stored != self.spec.max_value]
+            sample = rng.choice(stored, size=min(4096, len(stored)))
+        gpu_result = self.gpu_search_bucket(
+            np.asarray(sample, dtype=self.spec.dtype)
+        )
+        leaf_profile = self.profile_leaf_stage(sample)
+        return hybrid_bucket_costs(
+            self.machine,
+            self.spec,
+            bucket_size,
+            gpu_transactions_per_query=gpu_result.transactions_per_query,
+            gpu_levels=float(self.gpu_depth),
+            cpu_leaf_profile=leaf_profile,
+            cpu_model=cpu_model,
+        )
+
+    # ------------------------------------------------------------------
+    # updates (rebuild, section 5.6 / Fig 15)
+
+    def rebuild(self, keys: Sequence[int], values: Sequence[int]) -> RebuildTimes:
+        """Rebuild both segments in main memory, then re-upload the
+        I-segment to GPU memory."""
+        self.cpu_tree.rebuild(keys, values)
+        transfer_ns = self._mirror_i_segment()
+        bw = self.machine.cpu.mem_bandwidth_gbs
+        l_ns = self.l_segment_bytes * REBUILD_PASSES / bw
+        i_ns = self.i_segment_bytes * REBUILD_PASSES / bw
+        times = RebuildTimes(
+            l_segment_ns=l_ns, i_segment_ns=i_ns, transfer_ns=transfer_ns
+        )
+        self.last_rebuild = times
+        return times
+
+    def merge_rebuild(
+        self,
+        upsert_keys: Sequence[int] = (),
+        upsert_values: Sequence[int] = (),
+        deletes: Sequence[int] = (),
+    ) -> RebuildTimes:
+        """Batch update by linear merge instead of a full re-sort.
+
+        Functionally identical to :meth:`rebuild` over the merged
+        contents, but cheaper: the existing contents are already sorted
+        (``MERGE_PASSES`` vs ``REBUILD_PASSES``).
+        """
+        self.cpu_tree.merge_update(upsert_keys, upsert_values, deletes)
+        transfer_ns = self._mirror_i_segment()
+        bw = self.machine.cpu.mem_bandwidth_gbs
+        times = RebuildTimes(
+            l_segment_ns=self.l_segment_bytes * MERGE_PASSES / bw,
+            i_segment_ns=self.i_segment_bytes * MERGE_PASSES / bw,
+            transfer_ns=transfer_ns,
+        )
+        self.last_rebuild = times
+        return times
+
+    def __repr__(self) -> str:
+        return (
+            f"ImplicitHBPlusTree(n={len(self.cpu_tree)}, "
+            f"height={self.height}, machine={self.machine.name!r}, "
+            f"iseg={self.i_segment_bytes}B)"
+        )
+
+    def __len__(self) -> int:
+        return len(self.cpu_tree)
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key) is not None

@@ -1,0 +1,258 @@
+"""Load balancing between CPU and GPU (paper section 5.5).
+
+On machines whose GPU is not comfortably faster than the CPU (M2), the
+plain HB+-tree loses to the CPU-optimized tree: the GPU plus transfer
+path costs more than it saves.  The load-balanced HB+-tree splits the
+inner levels: the CPU traverses the *top* ``D`` levels (they are small
+and cache-resident), the GPU the remaining levels, and the CPU finishes
+in the leaves.  A fraction ``R`` of each bucket stops one level earlier
+on the CPU, giving sub-level granularity.
+
+Equation 4:
+
+    C = max( L_C + sum_{i<D} C_{C,i} + R * C_{C,D},
+             (1-R) * C_{G,D} + sum_{i>D} C_{G,i} )
+
+Algorithm 1 (the discovery algorithm) finds (D, R): linear search on D
+until the GPU is no longer the bottleneck, then 4 binary-search steps
+on R.
+
+The implementation is functional *and* modeled: per-level CPU costs are
+measured by instrumented descents (top levels hit the LLC), per-level
+GPU costs follow from transaction counts, and the balanced lookup
+really executes split across the two engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.hbtree_implicit import ImplicitHBPlusTree
+from repro.platform.costmodel import BucketCosts, CpuCostModel, CpuQueryProfile
+
+
+@dataclass
+class DiscoveryResult:
+    """Outcome of Algorithm 1."""
+
+    depth: int
+    ratio: float
+    samples: List[Tuple[int, float, float, float]]
+    """(D, R, Time_GPU, Time_CPU) for every getSample call."""
+
+    @property
+    def sample_count(self) -> int:
+        return len(self.samples)
+
+
+class LoadBalancer:
+    """The load-balanced implicit HB+-tree search (section 5.5)."""
+
+    def __init__(
+        self,
+        tree: ImplicitHBPlusTree,
+        bucket_size: Optional[int] = None,
+        cpu_model: Optional[CpuCostModel] = None,
+    ):
+        self.tree = tree
+        self.machine = tree.machine
+        self.bucket_size = bucket_size or self.machine.bucket_size
+        self.cpu_model = cpu_model or CpuCostModel(self.machine.cpu)
+        self._profile_levels()
+        self.depth = 0
+        self.ratio = 1.0
+
+    # ------------------------------------------------------------------
+    # per-level cost measurement
+
+    def _profile_levels(self, sample_size: int = 2048) -> None:
+        """Measure C_{C,i}, C_{G,i} and L_C from instrumented runs."""
+        tree = self.tree.cpu_tree
+        spec = self.tree.spec
+        rng = np.random.default_rng(23)
+        stored = tree.leaf_keys.reshape(-1)
+        stored = stored[stored != spec.max_value]
+        sample = rng.choice(stored, size=min(sample_size, len(stored)))
+        mem = self.tree.mem
+        h = tree.height
+
+        # CPU cost per level: descend while recording per-level misses
+        per_level_misses = [0.0] * h
+        per_level_lines = [0.0] * h
+        node = np.zeros(len(sample), dtype=np.int64)
+        q = sample.astype(spec.dtype)
+        mem.reset_counters()
+        for level in range(h):
+            offset = tree._level_line_offset(level)
+            before = mem.counters.cache_misses
+            for n in node.tolist():
+                mem.touch_line(tree.i_segment, offset + int(n))
+            per_level_misses[level] = (
+                mem.counters.cache_misses - before
+            ) / len(sample)
+            per_level_lines[level] = 1.0
+            keys = tree.inner_levels[level][node]
+            k = np.sum(keys < q[:, None], axis=1).astype(np.int64)
+            next_size = (
+                tree.inner_levels[level + 1].shape[0]
+                if level + 1 < h
+                else tree.num_leaves
+            )
+            node = np.minimum(node * tree.fanout + k, next_size - 1)
+        # leaf stage cost
+        before = mem.counters.cache_misses
+        tlb_s_before = mem.counters.tlb_misses_small
+        tlb_h_before = mem.counters.tlb_misses_huge
+        for n in node.tolist():
+            mem.touch_line(tree.l_segment, int(n))
+        leaf_misses = (mem.counters.cache_misses - before) / len(sample)
+        leaf_tlb_s = (mem.counters.tlb_misses_small - tlb_s_before) / len(sample)
+        leaf_tlb_h = (mem.counters.tlb_misses_huge - tlb_h_before) / len(sample)
+
+        model = self.cpu_model
+        self.cpu_level_ns: List[float] = []
+        for level in range(h):
+            profile = CpuQueryProfile(
+                lines=per_level_lines[level],
+                misses=per_level_misses[level],
+                tlb_small=0.0,
+                tlb_huge=0.0,
+                node_searches=1.0,
+            )
+            self.cpu_level_ns.append(model.query_ns(profile))
+        leaf_profile = CpuQueryProfile(
+            lines=1.0,
+            misses=leaf_misses,
+            tlb_small=leaf_tlb_s,
+            tlb_huge=leaf_tlb_h,
+            node_searches=1.0,
+        )
+        self.leaf_ns = model.query_ns(leaf_profile)
+
+        # GPU cost per level: transactions measured by the kernel twin
+        gpu = self.machine.gpu
+        result = self.tree.gpu_search_bucket(sample)
+        txn_per_query_level = result.transactions_per_query / max(1, h)
+        self.gpu_level_ns = [
+            txn_per_query_level * 64.0 / gpu.effective_bandwidth_gbs
+        ] * h
+
+    # ------------------------------------------------------------------
+    # Equation 4 / getSample
+
+    def sample_times(self, depth: int, ratio: float,
+                     bucket_size: Optional[int] = None
+                     ) -> Tuple[float, float]:
+        """getSample(D, R): (Time_GPU, Time_CPU) for one bucket."""
+        m = bucket_size or self.bucket_size
+        h = self.tree.cpu_tree.height
+        depth = min(depth, h)
+        cpu_per_query = self.leaf_ns + sum(self.cpu_level_ns[:depth])
+        if depth < h:
+            cpu_per_query += ratio * self.cpu_level_ns[depth]
+        gpu_per_query = sum(self.gpu_level_ns[depth + 1:])
+        if depth < h:
+            gpu_per_query += (1.0 - ratio) * self.gpu_level_ns[depth]
+        threads = self.cpu_model.threads
+        time_cpu = m * cpu_per_query / threads
+        time_gpu = self.machine.gpu.kernel_init_ns + m * gpu_per_query
+        return time_gpu, time_cpu
+
+    def balanced_cost_ns(self, depth: int, ratio: float,
+                         bucket_size: Optional[int] = None) -> float:
+        """Equation 4: the bucket cost under a (D, R) split."""
+        time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+        return max(time_gpu, time_cpu)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+
+    def discover(self, bucket_size: Optional[int] = None) -> DiscoveryResult:
+        """The paper's discovery algorithm, executed literally."""
+        h = self.tree.cpu_tree.height
+        samples: List[Tuple[int, float, float, float]] = []
+        depth, ratio = 0, 1.0
+        time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+        samples.append((depth, ratio, time_gpu, time_cpu))
+        while time_gpu > time_cpu and depth < h:
+            depth += 1
+            time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+            samples.append((depth, ratio, time_gpu, time_cpu))
+        ratio = 0.5
+        for step in range(2, 6):
+            time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+            samples.append((depth, ratio, time_gpu, time_cpu))
+            if time_gpu > time_cpu:
+                ratio += 1.0 / (2 ** step)
+            else:
+                ratio -= 1.0 / (2 ** step)
+        self.depth = depth
+        self.ratio = ratio
+        return DiscoveryResult(depth=depth, ratio=ratio, samples=samples)
+
+    # ------------------------------------------------------------------
+    # functional balanced lookup
+
+    def lookup_batch(self, queries) -> np.ndarray:
+        """Execute one bucket split at the discovered (D, R)."""
+        tree = self.tree.cpu_tree
+        spec = self.tree.spec
+        q = np.asarray(queries, dtype=spec.dtype)
+        h = tree.height
+        n = len(q)
+        if h == 0:
+            return self.tree.cpu_finish_bucket(q, np.zeros(n, dtype=np.int64))
+        # Equation 4 semantics: an R fraction of the bucket has its
+        # level-D search done by the CPU (descends D+1 levels), the
+        # rest hands level D to the GPU (descends D levels)
+        cut = int(round(self.ratio * n))
+        depths = np.full(n, min(self.depth + 1, h), dtype=np.int64)
+        depths[cut:] = min(self.depth, h)
+
+        node = np.zeros(n, dtype=np.int64)
+        for level in range(h):
+            active = depths > level
+            if not np.any(active):
+                break
+            keys = tree.inner_levels[level][node[active]]
+            k = np.sum(keys < q[active, None], axis=1).astype(np.int64)
+            next_size = (
+                tree.inner_levels[level + 1].shape[0]
+                if level + 1 < h
+                else tree.num_leaves
+            )
+            node[active] = np.minimum(
+                node[active] * tree.fanout + k, next_size - 1
+            )
+        # GPU resumes from the per-query depth
+        from repro.gpusim.kernels.implicit_search import (
+            implicit_search_from,
+        )
+        leaf = implicit_search_from(
+            self.tree.iseg_buffer.array,
+            self.tree.level_offsets,
+            self.tree.level_sizes,
+            h,
+            tree.fanout,
+            q,
+            start_levels=depths,
+            start_nodes=node,
+        )
+        return self.tree.cpu_finish_bucket(q, leaf)
+
+    def bucket_costs(self, bucket_size: Optional[int] = None) -> BucketCosts:
+        """T1-T4 under the discovered split, for the pipeline simulator.
+
+        T2 is the GPU share, T4 the CPU share (top levels + leaf); the
+        transfers additionally carry the intermediate node index.
+        """
+        m = bucket_size or self.bucket_size
+        spec = self.tree.spec
+        time_gpu, time_cpu = self.sample_times(self.depth, self.ratio, m)
+        # query + intermediate node index travel to the GPU
+        t1 = self.machine.pcie.transfer_ns(m * (spec.size_bytes + 8))
+        t3 = self.machine.pcie.transfer_ns(m * 8)
+        return BucketCosts(t1=t1, t2=time_gpu, t3=t3, t4=time_cpu)

@@ -1,0 +1,136 @@
+"""Concurrent search/update query execution (paper appendix B.3).
+
+The HB+-tree's query-processing threads can resolve both searches and
+updates; updates take the target last-level node's lock, searches are
+lock-free (but pay the mutex-capable code path's overhead).  The
+synchronized I-segment maintenance additionally streams every modified
+node to the GPU from a synchronizing thread; the asynchronous variant
+defers to one bulk transfer.
+
+:class:`ConcurrentQueryEngine` executes a :class:`QueryMix` *both*
+functionally (every search resolved, every update applied, GPU mirror
+left consistent) and temporally, via the discrete-event thread
+scheduler of :mod:`repro.concurrency` — lock contention on hot leaves
+emerges from the actual access pattern instead of a formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.concurrency import Operation, ScheduleResult, ThreadScheduler
+from repro.core.hbtree import HBPlusTree
+from repro.core.update import SYNC_NODE_OVERHEAD_NS, _measure_update_cost_ns
+from repro.platform.costmodel import CpuCostModel
+from repro.workloads.queries import QueryMix
+
+#: slowdown of the update-capable query threads on the pure-search path
+#: (mutex checks, synchronization points — appendix B.3's observation)
+MUTEX_OVERHEAD = 1.25
+
+
+@dataclass
+class MixedRunResult:
+    """Functional + temporal outcome of one mixed bucket."""
+
+    search_results: np.ndarray
+    schedule: ScheduleResult
+    sync_transfer_ns: float
+    method: str
+
+    @property
+    def total_ns(self) -> float:
+        return max(self.schedule.makespan_ns, self.sync_transfer_ns)
+
+    @property
+    def throughput_ops(self) -> float:
+        return self.schedule.operations * 1e9 / self.total_ns
+
+
+class ConcurrentQueryEngine:
+    """Executes mixed buckets on the regular HB+-tree, CPU-side."""
+
+    def __init__(self, tree: HBPlusTree, threads: Optional[int] = None):
+        self.tree = tree
+        self.threads = threads if threads is not None else tree.machine.cpu.threads
+        self._search_ns, self._update_ns = self._measure_costs()
+
+    def _measure_costs(self):
+        tree = self.tree
+        all_keys = np.asarray(
+            [k for k, _v in tree.cpu_tree.items()], dtype=tree.spec.dtype
+        )
+        if len(all_keys) == 0:
+            return 100.0, 500.0
+        rng = np.random.default_rng(67)
+        stored = rng.choice(all_keys, size=min(2048, len(all_keys)))
+        from repro.bench.profiling import profile_regular
+        profile = profile_regular(tree.cpu_tree, stored)
+        model = CpuCostModel(tree.machine.cpu)
+        search_ns = model.query_ns(profile) * MUTEX_OVERHEAD
+        update_ns = _measure_update_cost_ns(tree, stored) * MUTEX_OVERHEAD
+        return search_ns, update_ns
+
+    def run(self, mix: QueryMix, method: str = "async") -> MixedRunResult:
+        """Execute a mix; ``method`` picks the mirror maintenance."""
+        if method not in ("async", "sync"):
+            raise ValueError("method must be 'async' or 'sync'")
+        tree = self.tree
+        cpu_tree = tree.cpu_tree
+
+        # functional execution + operation list for the scheduler
+        operations: List[Operation] = []
+        search_iter = iter(mix.search_keys)
+        update_iter = iter(zip(mix.update_keys.tolist(),
+                               mix.update_values.tolist()))
+        searches: List[int] = []
+        synced_nodes = 0
+        # the update cost splits ~55% descent (lock-free) / 45% locked
+        upd_work = self._update_ns * 0.55
+        upd_locked = self._update_ns * 0.45
+        for is_update in mix.is_update.tolist():
+            if is_update:
+                key, value = next(update_iter)
+                node, _line, _path = cpu_tree._descend(int(key),
+                                                       instrument=False)
+                cpu_tree.insert(int(key), int(value))
+                operations.append(Operation(
+                    work_ns=upd_work, lock=("leaf", int(node)),
+                    locked_ns=upd_locked, tag="update",
+                ))
+                synced_nodes += 1
+            else:
+                searches.append(int(next(search_iter)))
+                operations.append(Operation(
+                    work_ns=self._search_ns, tag="search",
+                ))
+        schedule = ThreadScheduler(self.threads).run(operations)
+
+        # mirror maintenance
+        if method == "sync":
+            node_bytes = tree.node_stride * 8
+            push_ns = (node_bytes / tree.machine.pcie.bandwidth_gbs
+                       + SYNC_NODE_OVERHEAD_NS)
+            sync_ns = synced_nodes * push_ns + (
+                tree.machine.pcie.t_init_ns if synced_nodes else 0.0
+            )
+        else:
+            sync_ns = 0.0  # async: one bulk transfer, excluded as in Fig 21
+        tree.mirror_i_segment()
+
+        results = (
+            tree.cpu_tree.lookup_batch(
+                np.asarray(searches, dtype=tree.spec.dtype)
+            )
+            if searches
+            else np.empty(0, dtype=tree.spec.dtype)
+        )
+        return MixedRunResult(
+            search_results=results,
+            schedule=schedule,
+            sync_transfer_ns=sync_ns,
+            method=method,
+        )

@@ -1,0 +1,37 @@
+"""CPU-optimized B+-trees (paper section 4) and their building blocks.
+
+* :mod:`repro.cpu.simd` — AVX2 emulation used to port the paper's
+  appendix snippets instruction-for-instruction.
+* :mod:`repro.cpu.node_search` — sequential / linear-SIMD /
+  hierarchical-SIMD node search (Fig 3, Snippets 1-2).
+* :mod:`repro.cpu.btree_implicit` — the implicit (pointer-free,
+  breadth-first array) B+-tree.
+* :mod:`repro.cpu.btree_regular` — the regular (pointer-based) B+-tree
+  with 17-cache-line inner nodes and 256-entry big leaves (Fig 2 c-d).
+* :mod:`repro.cpu.software_pipeline` — software pipelining of lookups
+  (Algorithm 2, appendix B.2).
+* :mod:`repro.cpu.fast_tree` — the FAST baseline (Kim et al., SIGMOD'10)
+  used in Fig 9.
+"""
+
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.cpu.btree_regular import RegularCpuBPlusTree
+from repro.cpu.fast_tree import FastTree
+from repro.cpu.node_search import (
+    NodeSearchAlgorithm,
+    hierarchical_simd_search,
+    linear_simd_search,
+    sequential_search,
+)
+from repro.cpu.software_pipeline import SoftwarePipeline
+
+__all__ = [
+    "ImplicitCpuBPlusTree",
+    "RegularCpuBPlusTree",
+    "FastTree",
+    "NodeSearchAlgorithm",
+    "sequential_search",
+    "linear_simd_search",
+    "hierarchical_simd_search",
+    "SoftwarePipeline",
+]

@@ -1,0 +1,368 @@
+"""The implicit (pointer-free) B+-tree, CPU-optimized variant.
+
+Nodes are arranged breadth-first in flat arrays (paper section 3 /
+Fig 2 a-b): every node occupies exactly one cache line, leaves hold
+``P_L`` key-value pairs, inner nodes hold one full cache line of keys.
+Child locations are computed, never stored, so the j-th child of the
+i-th node at a level is node ``i * F_I + j`` of the next level.
+
+Two fanout styles share this implementation:
+
+* the CPU-optimized tree uses all ``keys_per_line`` keys as separators
+  for ``keys_per_line + 1`` children (fanout 9 / 17),
+* the implicit HB+-tree pins the last key to the maximum value and uses
+  ``keys_per_line`` children (fanout 8 / 16) so the GPU kernel can use
+  one thread per key without divergence (section 5.2).
+
+Updates rebuild the whole tree — the linear-time price of implicitness
+the paper accepts for its search-dominated workloads (section 5.6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cpu.node_search import (
+    NodeSearchAlgorithm,
+    get_search_function,
+    search_leaf_line,
+)
+from repro.keys import KeySpec, key_spec
+from repro.memsim.allocator import Segment
+from repro.memsim.mainmem import MemorySystem, PageConfig
+
+
+class ImplicitCpuBPlusTree:
+    """A breadth-first-array B+-tree over sorted key/value pairs.
+
+    Parameters
+    ----------
+    keys, values:
+        The tuples to index; sorted internally by key.  Keys must be
+        unique and strictly below the key type's maximum value (the
+        padding sentinel).
+    key_bits:
+        64 or 32.
+    fanout:
+        Children per inner node.  Defaults to the CPU-optimized fanout
+        (``keys_per_line + 1``); the hybrid tree passes
+        ``keys_per_line``.
+    mem:
+        Optional :class:`MemorySystem` — when given, instrumented
+        lookups charge their node accesses to it.
+    page_config:
+        Where the I- and L-segments are placed (Fig 7 configurations).
+    algorithm:
+        Node-search algorithm used by instrumented scalar lookups.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[int],
+        values: Sequence[int],
+        key_bits: int = 64,
+        fanout: Optional[int] = None,
+        mem: Optional[MemorySystem] = None,
+        page_config: PageConfig = PageConfig.HUGE_HUGE,
+        algorithm: NodeSearchAlgorithm = NodeSearchAlgorithm.HIERARCHICAL_SIMD,
+        segment_prefix: str = "implicit",
+    ):
+        self.spec: KeySpec = key_spec(key_bits)
+        self.fanout = fanout if fanout is not None else self.spec.implicit_cpu_fanout
+        if not 2 <= self.fanout <= self.spec.keys_per_line + 1:
+            raise ValueError(
+                f"fanout must be in [2, {self.spec.keys_per_line + 1}]"
+            )
+        self.algorithm = algorithm
+        self.mem = mem
+        self.page_config = page_config
+        self._segment_prefix = segment_prefix
+        self.i_segment: Optional[Segment] = None
+        self.l_segment: Optional[Segment] = None
+        self._build(keys, values)
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def _build(self, keys, values) -> None:
+        # convert with an explicit dtype: plain np.asarray on a Python
+        # list mixing values above int64's range promotes to float64
+        # and silently loses precision beyond 2**53
+        keys = np.asarray(keys, dtype=self.spec.dtype)
+        values = np.asarray(values, dtype=self.spec.dtype)
+        if keys.shape != values.shape or keys.ndim != 1:
+            raise ValueError("keys and values must be 1-D arrays of equal length")
+        if len(keys) == 0:
+            raise ValueError("cannot build a tree over zero tuples")
+        if int(keys.max()) >= self.spec.max_value:
+            raise ValueError(
+                "keys must be strictly below the maximum value "
+                "(reserved as the padding sentinel)"
+            )
+        order = np.argsort(keys, kind="stable")
+        keys, values = keys[order], values[order]
+        if len(keys) > 1 and np.any(keys[1:] == keys[:-1]):
+            raise ValueError("duplicate keys are not supported")
+
+        self.num_tuples = len(keys)
+        cap = self.spec.leaf_pairs_per_line
+        n_leaves = math.ceil(len(keys) / cap)
+        sentinel = self.spec.max_value
+        leaf_keys = np.full((n_leaves, cap), sentinel, dtype=self.spec.dtype)
+        leaf_vals = np.zeros((n_leaves, cap), dtype=self.spec.dtype)
+        flat = leaf_keys.reshape(-1)
+        flat[: len(keys)] = keys
+        leaf_vals.reshape(-1)[: len(values)] = values
+        self.leaf_keys = leaf_keys
+        self.leaf_values = leaf_vals
+
+        # max real key of each node at the level currently being covered
+        child_max = keys[
+            np.minimum(np.arange(1, n_leaves + 1) * cap - 1, len(keys) - 1)
+        ]
+        self.inner_levels: List[np.ndarray] = []
+        n_children = n_leaves
+        while n_children > 1:
+            n_nodes = math.ceil(n_children / self.fanout)
+            level = np.full(
+                (n_nodes, self.spec.keys_per_line), sentinel, dtype=self.spec.dtype
+            )
+            # key j of node i = max key in the subtree of child i*F + j
+            kpn = min(self.spec.keys_per_line, self.fanout)
+            for j in range(kpn):
+                child = np.arange(n_nodes) * self.fanout + j
+                valid = child < n_children
+                level[valid, j] = child_max[child[valid]]
+            if self.fanout == self.spec.keys_per_line:
+                # hybrid style (section 5.2): the last key is pinned to
+                # the maximum value so every query sets at least one GPU
+                # flag.  For the (possibly partially filled) rightmost
+                # node the pin goes on its last *real* child, making the
+                # rightmost real path a catch-all — overflow queries
+                # never route into non-existent nodes.
+                level[:, self.fanout - 1] = sentinel
+                last_children = n_children - (n_nodes - 1) * self.fanout
+                level[n_nodes - 1, last_children - 1] = sentinel
+            self.inner_levels.append(level)
+            node_max = np.empty(n_nodes, dtype=self.spec.dtype)
+            for i in range(n_nodes):
+                lo = i * self.fanout
+                hi = min(lo + self.fanout, n_children)
+                node_max[i] = child_max[lo:hi].max()
+            child_max = node_max
+            n_children = n_nodes
+        self.inner_levels.reverse()  # root first
+        self._allocate_segments()
+
+    def _allocate_segments(self) -> None:
+        if self.mem is None:
+            return
+        line = self.spec.cache_line
+        prefix = self._segment_prefix
+        for name in (f"{prefix}.I", f"{prefix}.L"):
+            if name in self.mem.allocator:
+                self.mem.allocator.free(name)
+        inner_lines = max(1, sum(lvl.shape[0] for lvl in self.inner_levels))
+        self.i_segment = self.mem.allocate(
+            f"{prefix}.I", inner_lines * line, self.page_config.inner_kind
+        )
+        self.l_segment = self.mem.allocate(
+            f"{prefix}.L", self.leaf_keys.shape[0] * line, self.page_config.leaf_kind
+        )
+
+    # ------------------------------------------------------------------
+    # geometry
+
+    @property
+    def height(self) -> int:
+        """H: number of inner levels above the leaves."""
+        return len(self.inner_levels)
+
+    @property
+    def num_leaves(self) -> int:
+        return self.leaf_keys.shape[0]
+
+    @property
+    def num_inner_nodes(self) -> int:
+        return sum(lvl.shape[0] for lvl in self.inner_levels)
+
+    @property
+    def lines_per_query(self) -> int:
+        """Cache lines touched per lookup: H + 1 (paper section 4.1)."""
+        return self.height + 1
+
+    @property
+    def i_segment_bytes(self) -> int:
+        return self.num_inner_nodes * self.spec.cache_line
+
+    @property
+    def l_segment_bytes(self) -> int:
+        return self.num_leaves * self.spec.cache_line
+
+    def _level_line_offset(self, level: int) -> int:
+        """Line offset of a level inside the I-segment (root first)."""
+        return sum(lvl.shape[0] for lvl in self.inner_levels[:level])
+
+    # ------------------------------------------------------------------
+    # search
+
+    def _descend(self, key: int, instrument: bool) -> int:
+        """Walk the inner levels; return the target leaf index."""
+        search = get_search_function(self.algorithm)
+        counters = self.mem.counters if (instrument and self.mem) else None
+        node = 0
+        for level, level_keys in enumerate(self.inner_levels):
+            if instrument and self.mem is not None and self.i_segment is not None:
+                self.mem.touch_line(self.i_segment, self._level_line_offset(level) + node)
+            k = search(level_keys[node], key, counters)
+            next_size = (
+                self.inner_levels[level + 1].shape[0]
+                if level + 1 < len(self.inner_levels)
+                else self.num_leaves
+            )
+            node = min(node * self.fanout + k, next_size - 1)
+        return node
+
+    def lookup(self, key: int, instrument: bool = True) -> Optional[int]:
+        """Point query; returns the value or None if the key is absent."""
+        key = int(key)
+        leaf = self._descend(key, instrument)
+        counters = self.mem.counters if (instrument and self.mem) else None
+        if instrument and self.mem is not None and self.l_segment is not None:
+            self.mem.touch_line(self.l_segment, leaf)
+        row = self.leaf_keys[leaf]
+        pos = search_leaf_line(row, key, counters, self.algorithm)
+        if counters is not None:
+            counters.queries += 1
+        if pos < row.shape[0] and int(row[pos]) == key:
+            return int(self.leaf_values[leaf, pos])
+        return None
+
+    def lookup_batch(self, queries: Sequence[int]) -> np.ndarray:
+        """Vectorised point lookups; absent keys yield the max value.
+
+        Returns an array of values with ``spec.max_value`` marking
+        not-found (the sentinel can never be a stored value's key).
+        """
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        node = np.zeros(len(q), dtype=np.int64)
+        for level, level_keys in enumerate(self.inner_levels):
+            keys = level_keys[node]
+            k = np.sum(keys < q[:, None], axis=1).astype(np.int64)
+            next_size = (
+                self.inner_levels[level + 1].shape[0]
+                if level + 1 < len(self.inner_levels)
+                else self.num_leaves
+            )
+            node = np.minimum(node * self.fanout + k, next_size - 1)
+        rows = self.leaf_keys[node]
+        pos = np.sum(rows < q[:, None], axis=1)
+        pos_c = np.minimum(pos, rows.shape[1] - 1)
+        found = rows[np.arange(len(q)), pos_c] == q
+        out = np.full(len(q), self.spec.max_value, dtype=self.spec.dtype)
+        out[found] = self.leaf_values[node[found], pos_c[found]]
+        return out
+
+    def range_query(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """All (key, value) pairs with ``lo <= key <= hi``, in key order.
+
+        Exploits the sequential leaf arrangement: after locating the
+        first leaf, successor leaves are adjacent lines (section 4.1).
+        """
+        if lo > hi:
+            return []
+        leaf = self._descend(int(lo), instrument=True)
+        counters = self.mem.counters if self.mem else None
+        results: List[Tuple[int, int]] = []
+        sentinel = self.spec.max_value
+        while leaf < self.num_leaves:
+            if self.mem is not None and self.l_segment is not None:
+                self.mem.touch_line(self.l_segment, leaf)
+            row = self.leaf_keys[leaf]
+            for j in range(row.shape[0]):
+                key = int(row[j])
+                if key == sentinel or key > hi:
+                    if counters is not None:
+                        counters.queries += 1
+                    return results
+                if key >= lo:
+                    results.append((key, int(self.leaf_values[leaf, j])))
+            leaf += 1
+        if counters is not None:
+            counters.queries += 1
+        return results
+
+    # ------------------------------------------------------------------
+    # updates (rebuild — section 5.6)
+
+    def rebuild(self, keys: Sequence[int], values: Sequence[int]) -> None:
+        """Replace the indexed data; the whole tree is reconstructed."""
+        self._build(keys, values)
+
+    def merge_update(
+        self,
+        upsert_keys: Sequence[int] = (),
+        upsert_values: Sequence[int] = (),
+        deletes: Sequence[int] = (),
+    ) -> None:
+        """Apply a batch of upserts/deletes by linear merge + rebuild.
+
+        The implicit layout cannot be updated in place, but a *sorted*
+        batch merges into the existing sorted contents in O(n + m) —
+        far cheaper than re-sorting everything, which is how a real
+        deployment implements the paper's periodic batch rebuilds.
+        """
+        up_k = np.asarray(upsert_keys, dtype=self.spec.dtype)
+        up_v = np.asarray(upsert_values, dtype=self.spec.dtype)
+        del_k = np.asarray(deletes, dtype=self.spec.dtype)
+        if up_k.shape != up_v.shape:
+            raise ValueError("upsert keys and values must align")
+        if len(up_k):
+            order = np.argsort(up_k, kind="stable")
+            up_k, up_v = up_k[order], up_v[order]
+            if np.any(up_k[1:] == up_k[:-1]):
+                raise ValueError("duplicate keys within the update batch")
+
+        flat_keys = self.leaf_keys.reshape(-1)
+        mask = flat_keys != self.spec.max_value
+        old_k = flat_keys[mask]
+        old_v = self.leaf_values.reshape(-1)[mask]
+        drop = up_k
+        if len(del_k):
+            drop = np.union1d(drop, del_k) if len(drop) else np.sort(del_k)
+        if len(drop):
+            keep = ~np.isin(old_k, drop)
+            old_k, old_v = old_k[keep], old_v[keep]
+        if len(up_k):
+            positions = np.searchsorted(old_k, up_k)
+            merged_k = np.insert(old_k, positions, up_k)
+            merged_v = np.insert(old_v, positions, up_v)
+        else:
+            merged_k, merged_v = old_k, old_v
+        if len(merged_k) == 0:
+            raise ValueError("merge would leave the tree empty")
+        self._build(merged_k, merged_v)
+
+    def items(self) -> List[Tuple[int, int]]:
+        """All stored (key, value) pairs in key order."""
+        sentinel = self.spec.max_value
+        mask = self.leaf_keys.reshape(-1) != sentinel
+        ks = self.leaf_keys.reshape(-1)[mask]
+        vs = self.leaf_values.reshape(-1)[mask]
+        return list(zip(ks.tolist(), vs.tolist()))
+
+    def __len__(self) -> int:
+        return self.num_tuples
+
+    def __repr__(self) -> str:
+        return (
+            f"ImplicitCpuBPlusTree(n={self.num_tuples}, "
+            f"height={self.height}, fanout={self.fanout}, "
+            f"bits={self.spec.bits})"
+        )
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key, instrument=False) is not None

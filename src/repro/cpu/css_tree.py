@@ -1,0 +1,219 @@
+"""Cache Sensitive Search tree (CSS-tree, Rao & Ross VLDB'99).
+
+The paper's related work (section 2) and the prototype "third tree" for
+the generic hybrid framework of section 7's future work: a *directory*
+of cache-line-sized nodes built over the sorted data array itself.
+Unlike the B+-tree variants, leaves are not copied into leaf nodes —
+the sorted key/value arrays **are** the leaf level ("leaf-stored"
+in its purest form), which makes the CSS-tree the most space-efficient
+static option.
+
+Structure: the sorted keys are cut into runs of ``keys_per_line``
+entries; directory level 0 holds the max key of each run, and further
+directory levels stack with the same cache-line fanout, exactly like
+the implicit B+-tree's inner levels.  Search descends the directory and
+finishes with one binary probe inside the located run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cpu.node_search import NodeSearchAlgorithm, get_search_function
+from repro.keys import KeySpec, key_spec
+from repro.memsim.allocator import Segment
+from repro.memsim.mainmem import MemorySystem, PageConfig
+
+
+class CssTree:
+    """A static CSS-tree over sorted key/value arrays."""
+
+    def __init__(
+        self,
+        keys: Sequence[int],
+        values: Sequence[int],
+        key_bits: int = 64,
+        mem: Optional[MemorySystem] = None,
+        page_config: PageConfig = PageConfig.HUGE_HUGE,
+        algorithm: NodeSearchAlgorithm = NodeSearchAlgorithm.HIERARCHICAL_SIMD,
+        segment_prefix: str = "css",
+    ):
+        self.spec: KeySpec = key_spec(key_bits)
+        self.fanout = self.spec.keys_per_line
+        self.algorithm = algorithm
+        self.mem = mem
+        self.page_config = page_config
+        self._segment_prefix = segment_prefix
+        self.i_segment: Optional[Segment] = None
+        self.l_segment: Optional[Segment] = None
+        self._build(keys, values)
+
+    # ------------------------------------------------------------------
+
+    def _build(self, keys, values) -> None:
+        keys = np.asarray(keys, dtype=self.spec.dtype)
+        values = np.asarray(values, dtype=self.spec.dtype)
+        if keys.ndim != 1 or keys.shape != values.shape:
+            raise ValueError("keys and values must be 1-D arrays of equal length")
+        if len(keys) == 0:
+            raise ValueError("cannot build a tree over zero tuples")
+        if int(keys.max()) >= self.spec.max_value:
+            raise ValueError("keys must be strictly below the sentinel value")
+        order = np.argsort(keys, kind="stable")
+        self.sorted_keys = keys[order]
+        self.sorted_values = values[order]
+        if len(keys) > 1 and np.any(
+            self.sorted_keys[1:] == self.sorted_keys[:-1]
+        ):
+            raise ValueError("duplicate keys are not supported")
+        self.num_tuples = len(keys)
+
+        sentinel = self.spec.max_value
+        run = self.fanout
+        n_runs = math.ceil(self.num_tuples / run)
+        # directory levels bottom-up; each entry is the max key covered
+        child_max = self.sorted_keys[
+            np.minimum(np.arange(1, n_runs + 1) * run - 1,
+                       self.num_tuples - 1)
+        ]
+        self.directory: List[np.ndarray] = []
+        n_children = n_runs
+        while n_children > 1:
+            n_nodes = math.ceil(n_children / self.fanout)
+            level = np.full((n_nodes, self.fanout), sentinel,
+                            dtype=self.spec.dtype)
+            level.reshape(-1)[:n_children] = child_max
+            # catch-all pin for the rightmost real child (probes beyond
+            # the maximum key route down the rightmost path)
+            level[n_nodes - 1,
+                  (n_children - 1) - (n_nodes - 1) * self.fanout] = sentinel
+            node_max = np.array(
+                [child_max[min((i + 1) * self.fanout, n_children) - 1]
+                 for i in range(n_nodes)],
+                dtype=self.spec.dtype,
+            )
+            self.directory.append(level)
+            child_max = node_max
+            n_children = n_nodes
+        self.directory.reverse()  # root first
+        self.num_runs = n_runs
+        self._allocate_segments()
+
+    def _allocate_segments(self) -> None:
+        if self.mem is None:
+            return
+        prefix = self._segment_prefix
+        for name in (f"{prefix}.I", f"{prefix}.L"):
+            if name in self.mem.allocator:
+                self.mem.allocator.free(name)
+        line = self.spec.cache_line
+        self.i_segment = self.mem.allocate(
+            f"{prefix}.I",
+            max(1, self.num_directory_nodes) * line,
+            self.page_config.inner_kind,
+        )
+        data_bytes = self.num_tuples * 2 * self.spec.size_bytes
+        self.l_segment = self.mem.allocate(
+            f"{prefix}.L", max(line, data_bytes), self.page_config.leaf_kind
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return len(self.directory)
+
+    @property
+    def num_directory_nodes(self) -> int:
+        return sum(lvl.shape[0] for lvl in self.directory)
+
+    @property
+    def i_segment_bytes(self) -> int:
+        return max(1, self.num_directory_nodes) * self.spec.cache_line
+
+    @property
+    def directory_bytes(self) -> int:
+        return self.num_directory_nodes * self.spec.cache_line
+
+    def _level_line_offset(self, level: int) -> int:
+        return sum(lvl.shape[0] for lvl in self.directory[:level])
+
+    def _descend(self, key: int, instrument: bool) -> int:
+        """Directory walk; returns the run index."""
+        search = get_search_function(self.algorithm)
+        counters = self.mem.counters if (instrument and self.mem) else None
+        node = 0
+        for level, level_keys in enumerate(self.directory):
+            if instrument and self.mem is not None and self.i_segment is not None:
+                self.mem.touch_line(
+                    self.i_segment, self._level_line_offset(level) + node
+                )
+            k = search(level_keys[node], key, counters)
+            next_size = (
+                self.directory[level + 1].shape[0]
+                if level + 1 < len(self.directory)
+                else self.num_runs
+            )
+            node = min(node * self.fanout + k, next_size - 1)
+        return node
+
+    def lookup(self, key: int, instrument: bool = True) -> Optional[int]:
+        """Point query: directory descent + one probe into the run."""
+        key = int(key)
+        run = self._descend(key, instrument)
+        counters = self.mem.counters if (instrument and self.mem) else None
+        lo = run * self.fanout
+        hi = min(lo + self.fanout, self.num_tuples)
+        if instrument and self.mem is not None and self.l_segment is not None:
+            self.mem.touch(
+                self.l_segment, lo * 2 * self.spec.size_bytes,
+                (hi - lo) * 2 * self.spec.size_bytes,
+            )
+        pos = lo + int(np.searchsorted(self.sorted_keys[lo:hi],
+                                       self.spec.dtype(key)))
+        if counters is not None:
+            counters.queries += 1
+            counters.key_comparisons += hi - lo
+        if pos < hi and int(self.sorted_keys[pos]) == key:
+            return int(self.sorted_values[pos])
+        return None
+
+    def lookup_batch(self, queries: Sequence[int]) -> np.ndarray:
+        """Vectorised lookups; the sentinel marks not-found."""
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        pos = np.searchsorted(self.sorted_keys, q)
+        pos_c = np.minimum(pos, self.num_tuples - 1)
+        found = self.sorted_keys[pos_c] == q
+        out = np.full(len(q), self.spec.max_value, dtype=self.spec.dtype)
+        out[found] = self.sorted_values[pos_c[found]]
+        return out
+
+    def range_query(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """Range scan directly over the sorted data array."""
+        if lo > hi:
+            return []
+        start = int(np.searchsorted(self.sorted_keys,
+                                    self.spec.dtype(lo)))
+        end = int(np.searchsorted(self.sorted_keys, self.spec.dtype(hi),
+                                  side="right"))
+        if self.mem is not None and self.l_segment is not None and end > start:
+            pair = 2 * self.spec.size_bytes
+            self.mem.touch(self.l_segment, start * pair,
+                           max(pair, (end - start) * pair))
+        return list(zip(self.sorted_keys[start:end].tolist(),
+                        self.sorted_values[start:end].tolist()))
+
+    def __len__(self) -> int:
+        return self.num_tuples
+
+    def __repr__(self) -> str:
+        return (
+            f"CssTree(n={self.num_tuples}, height={self.height}, "
+            f"runs={self.num_runs}, bits={self.spec.bits})"
+        )
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key, instrument=False) is not None

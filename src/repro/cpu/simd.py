@@ -1,0 +1,130 @@
+"""AVX2 emulation.
+
+The paper's node-search inner loops (appendix A, Snippets 1 and 2) are
+written with Intel intrinsics.  This module provides a faithful software
+model of the handful of intrinsics they use so the snippets can be ported
+line-for-line, including the movemask/popcount bit tricks.
+
+Lanes are *unsigned* here: the trees use the full unsigned key domain
+with ``2**n - 1`` as the padding sentinel, so the comparison the
+algorithms need is unsigned greater-than.  (The hardware instruction is
+signed; real implementations compensate by flipping the sign bit, an
+equivalence covered by the test suite.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+def popcount(x: int) -> int:
+    """``__builtin_popcount``: number of one bits."""
+    if x < 0:
+        raise ValueError("popcount operates on non-negative masks")
+    return bin(x).count("1")
+
+
+@dataclass(frozen=True)
+class VecReg:
+    """A SIMD register holding fixed-width unsigned integer lanes.
+
+    ``lanes`` are stored most-significant lane first, matching the
+    ``_mm256_set_epi64x`` argument order in the snippets.
+    """
+
+    lanes: Tuple[int, ...]
+    lane_bits: int
+
+    def __post_init__(self):
+        limit = 1 << self.lane_bits
+        for lane in self.lanes:
+            if not 0 <= lane < limit:
+                raise ValueError(
+                    f"lane value {lane} out of range for {self.lane_bits}-bit lanes"
+                )
+
+    @property
+    def width_bits(self) -> int:
+        return len(self.lanes) * self.lane_bits
+
+    def __len__(self) -> int:
+        return len(self.lanes)
+
+
+def mm256_set1_epi64x(value: int) -> VecReg:
+    """Broadcast one 64-bit value to all four lanes."""
+    return VecReg(lanes=(value,) * 4, lane_bits=64)
+
+
+def mm256_set_epi64x(e3: int, e2: int, e1: int, e0: int) -> VecReg:
+    """Pack four 64-bit values (most significant lane first)."""
+    return VecReg(lanes=(e3, e2, e1, e0), lane_bits=64)
+
+
+def mm_set1_epi64x(value: int) -> VecReg:
+    """Broadcast one 64-bit value to both lanes of a 128-bit register."""
+    return VecReg(lanes=(value,) * 2, lane_bits=64)
+
+
+def mm_set_epi64x(e1: int, e0: int) -> VecReg:
+    """Pack two 64-bit values into a 128-bit register."""
+    return VecReg(lanes=(e1, e0), lane_bits=64)
+
+
+def mm256_set1_epi32(value: int) -> VecReg:
+    """Broadcast one 32-bit value to all eight lanes."""
+    return VecReg(lanes=(value,) * 8, lane_bits=32)
+
+
+def mm256_set_epi32(*values: int) -> VecReg:
+    """Pack eight 32-bit values (most significant lane first)."""
+    if len(values) != 8:
+        raise ValueError("mm256_set_epi32 requires exactly 8 values")
+    return VecReg(lanes=tuple(values), lane_bits=32)
+
+
+def cmpgt(a: VecReg, b: VecReg) -> VecReg:
+    """Lane-wise unsigned ``a > b``; all-ones lanes where true.
+
+    Models ``_mm256_cmpgt_epi64`` / ``_mm_cmpgt_epi64`` /
+    ``_mm256_cmpgt_epi32`` (with the sign-flip correction applied).
+    """
+    if len(a) != len(b) or a.lane_bits != b.lane_bits:
+        raise ValueError("cmpgt requires registers of identical shape")
+    ones = (1 << a.lane_bits) - 1
+    lanes = tuple(ones if x > y else 0 for x, y in zip(a.lanes, b.lanes))
+    return VecReg(lanes=lanes, lane_bits=a.lane_bits)
+
+
+def movemask_epi8(v: VecReg) -> int:
+    """``_mm*_movemask_epi8``: one mask bit per *byte*, from the MSB.
+
+    Bit ``i`` of the result is the top bit of byte ``i`` of the register,
+    where byte 0 is the least significant byte (last lane, low byte).
+    """
+    mask = 0
+    bit = 0
+    for lane in reversed(v.lanes):  # least-significant lane first
+        for byte_index in range(v.lane_bits // 8):
+            byte = (lane >> (8 * byte_index)) & 0xFF
+            if byte & 0x80:
+                mask |= 1 << bit
+            bit += 1
+    return mask
+
+
+def count_true_lanes(v: VecReg) -> int:
+    """Number of all-ones lanes of a comparison result.
+
+    This is what the snippets compute with the
+    ``movemask & pattern; popcount`` sequence — provided directly for the
+    vectorised fast paths.
+    """
+    ones = (1 << v.lane_bits) - 1
+    return sum(1 for lane in v.lanes if lane == ones)
+
+
+def load_lanes(values: Sequence[int], lane_bits: int) -> VecReg:
+    """Load a little slice of memory into a register (lowest lane first)."""
+    return VecReg(lanes=tuple(reversed(list(values))), lane_bits=lane_bits)

@@ -1,0 +1,34 @@
+"""Simulated CUDA-style GPU.
+
+The paper's GPU side is bandwidth bound and transaction-count driven
+(section 5.2-5.3, appendix C-D).  This package provides:
+
+* :mod:`repro.gpusim.memory` — device memory with 32/64/128-byte
+  coalesced transaction accounting,
+* :mod:`repro.gpusim.transfer` — the PCIe link (``T_init + size/BW``),
+* :mod:`repro.gpusim.simt` — a literal SIMT interpreter: warps in
+  lock-step, ``__shared__`` memory with bank-conflict detection,
+  ``__syncthreads`` barriers and divergence accounting,
+* :mod:`repro.gpusim.kernels` — the inner-node search kernels
+  (paper Snippet 3 and the regular-tree 3-step variant), each with a
+  vectorised twin used by the benchmarks and validated against the
+  interpreter in the tests,
+* :mod:`repro.gpusim.device` — the device facade tying it together.
+"""
+
+from repro.gpusim.device import GpuDevice
+from repro.gpusim.memory import DeviceBuffer, DeviceMemory
+from repro.gpusim.simt import GpuKernelStats, KernelLaunch, SharedMemory, ThreadCtx
+from repro.gpusim.transfer import PcieLink, TransferStats
+
+__all__ = [
+    "GpuDevice",
+    "DeviceBuffer",
+    "DeviceMemory",
+    "GpuKernelStats",
+    "KernelLaunch",
+    "SharedMemory",
+    "ThreadCtx",
+    "PcieLink",
+    "TransferStats",
+]

@@ -1,0 +1,56 @@
+"""The GPU device facade: memory + launch interface + occupancy."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.simt import GpuKernelStats, KernelLaunch
+from repro.platform.configs import GpuSpec
+
+
+class GpuDevice:
+    """One simulated discrete GPU built from a :class:`GpuSpec`."""
+
+    def __init__(self, spec: GpuSpec):
+        self.spec = spec
+        self.memory = DeviceMemory(
+            spec.device_mem_bytes, transaction_sizes=spec.transaction_sizes
+        )
+        #: kernel launches performed (each pays ``kernel_init_ns``)
+        self.kernel_launches = 0
+        self.stats = GpuKernelStats()
+
+    def launch(
+        self,
+        kernel_fn: Callable,
+        grid_dim: int,
+        block_dim: Tuple[int, int],
+        *args,
+        shared_decls: Optional[Dict[str, tuple]] = None,
+    ) -> GpuKernelStats:
+        """Run a kernel on the SIMT interpreter and accumulate stats."""
+        launch = KernelLaunch(
+            self.memory,
+            kernel_fn,
+            grid_dim,
+            block_dim,
+            warp_size=self.spec.warp_size,
+            shared_decls=shared_decls,
+            shared_banks=self.spec.shared_mem_banks,
+        )
+        stats = launch.run(*args)
+        self.kernel_launches += 1
+        self.stats.merge(stats)
+        return stats
+
+    def concurrent_queries(self, threads_per_query: int) -> int:
+        """Paper section 5.3: ``GPU_Threads / T`` concurrent queries."""
+        if threads_per_query <= 0:
+            raise ValueError("threads_per_query must be positive")
+        return self.spec.max_resident_threads // threads_per_query
+
+    def reset_counters(self) -> None:
+        self.memory.counters.reset()
+        self.kernel_launches = 0
+        self.stats = GpuKernelStats()

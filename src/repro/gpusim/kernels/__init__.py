@@ -1,0 +1,21 @@
+"""GPU search kernels: literal SIMT generators plus vectorised twins."""
+
+from repro.gpusim.kernels.implicit_search import (
+    implicit_search_kernel,
+    implicit_search_vectorized,
+    launch_implicit_search,
+)
+from repro.gpusim.kernels.regular_search import (
+    launch_regular_search,
+    regular_search_kernel,
+    regular_search_vectorized,
+)
+
+__all__ = [
+    "implicit_search_kernel",
+    "implicit_search_vectorized",
+    "launch_implicit_search",
+    "regular_search_kernel",
+    "regular_search_vectorized",
+    "launch_regular_search",
+]

@@ -1,0 +1,80 @@
+"""Analytic GPU L2 cache model (ablation support).
+
+The GTX 780 carries a 1.5 MB L2 between the SMs and device memory; the
+top levels of a mirrored I-segment are small enough to live there, so
+their transactions cost L2 bandwidth instead of DRAM bandwidth.  The
+base cost model conservatively ignores this (every transaction pays
+DRAM); this module quantifies what the simplification leaves on the
+table, for the L2 ablation benchmark.
+
+Analytic because it needs no per-access state: with uniform random
+queries, level ``i`` of the breadth-first I-segment is accessed once
+per query, so residency follows from sizes alone — top-down greedy
+occupancy is both optimal and what LRU converges to for this pattern.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def level_hit_rates(level_bytes: Sequence[int], l2_bytes: int
+                    ) -> List[float]:
+    """Fraction of each level's accesses served by a ``l2_bytes`` L2.
+
+    Levels are root first; earlier (smaller, hotter) levels occupy the
+    cache before later ones.
+    """
+    if l2_bytes < 0:
+        raise ValueError("L2 capacity cannot be negative")
+    remaining = float(l2_bytes)
+    rates: List[float] = []
+    for size in level_bytes:
+        if size <= 0:
+            rates.append(1.0)
+            continue
+        resident = min(float(size), remaining)
+        rates.append(resident / size)
+        remaining -= resident
+    return rates
+
+
+def effective_dram_transactions(
+    transactions_per_level: Sequence[float],
+    level_bytes: Sequence[int],
+    l2_bytes: int,
+) -> Tuple[float, float]:
+    """(DRAM transactions, L2-served transactions) per query.
+
+    ``transactions_per_level`` are the per-query transaction counts the
+    coalescer measured for each level.
+    """
+    if len(transactions_per_level) != len(level_bytes):
+        raise ValueError("per-level inputs must align")
+    rates = level_hit_rates(level_bytes, l2_bytes)
+    dram = sum(t * (1.0 - r) for t, r in zip(transactions_per_level, rates))
+    served = sum(t * r for t, r in zip(transactions_per_level, rates))
+    return dram, served
+
+
+def l2_speedup_estimate(
+    transactions_per_level: Sequence[float],
+    level_bytes: Sequence[int],
+    l2_bytes: int,
+    l2_bandwidth_ratio: float = 4.0,
+) -> float:
+    """Kernel-time speedup from modeling the L2 (>= 1.0).
+
+    ``l2_bandwidth_ratio`` is L2 bandwidth over effective DRAM
+    bandwidth; transactions served from L2 cost ``1/ratio`` as much.
+    """
+    if l2_bandwidth_ratio <= 0:
+        raise ValueError("bandwidth ratio must be positive")
+    total = sum(transactions_per_level)
+    if total <= 0:
+        return 1.0
+    dram, served = effective_dram_transactions(
+        transactions_per_level, level_bytes, l2_bytes
+    )
+    with_l2 = dram + served / l2_bandwidth_ratio
+    return total / with_l2 if with_l2 > 0 else float("inf")

@@ -1,0 +1,91 @@
+"""The CPU <-> GPU interconnect.
+
+Transfers follow the paper's cost model (section 5.4):
+
+    ``T = T_init + size / Bandwidth``
+
+with a fixed initialization latency per transfer — the term that makes
+many small synchronizing transfers lose to one big asynchronous one in
+the update experiments (Fig 13-14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.gpusim.memory import DeviceBuffer, DeviceMemory
+from repro.platform.configs import PcieSpec
+
+
+@dataclass
+class TransferStats:
+    """Accumulated link activity."""
+
+    transfers: int = 0
+    bytes_to_device: int = 0
+    bytes_to_host: int = 0
+    total_time_ns: float = 0.0
+
+    def reset(self) -> None:
+        self.transfers = 0
+        self.bytes_to_device = 0
+        self.bytes_to_host = 0
+        self.total_time_ns = 0.0
+
+
+class PcieLink:
+    """Moves data between host numpy arrays and device buffers."""
+
+    def __init__(self, spec: PcieSpec):
+        self.spec = spec
+        self.stats = TransferStats()
+
+    def time_ns(self, nbytes: int) -> float:
+        """Cost of one transfer of ``nbytes`` (either direction)."""
+        if nbytes < 0:
+            raise ValueError("transfer size cannot be negative")
+        return self.spec.transfer_ns(nbytes)
+
+    def to_device(
+        self, memory: DeviceMemory, name: str, host_array: np.ndarray
+    ) -> float:
+        """Upload ``host_array`` into buffer ``name``; returns time (ns)."""
+        memory.upload(name, host_array)
+        t = self.time_ns(host_array.nbytes)
+        self.stats.transfers += 1
+        self.stats.bytes_to_device += host_array.nbytes
+        self.stats.total_time_ns += t
+        return t
+
+    def update_device(
+        self,
+        memory: DeviceMemory,
+        name: str,
+        host_array: np.ndarray,
+        offset_elems: int = 0,
+    ) -> float:
+        """Overwrite part of an existing buffer (node synchronization).
+
+        Used by the synchronized update method (section 5.6), where each
+        modified inner node is pushed to GPU memory individually.
+        """
+        buf = memory.get(name)
+        flat = buf.array.reshape(-1)
+        src = host_array.reshape(-1)
+        if offset_elems + src.size > flat.size:
+            raise ValueError("partial update exceeds device buffer bounds")
+        flat[offset_elems: offset_elems + src.size] = src
+        t = self.time_ns(src.nbytes)
+        self.stats.transfers += 1
+        self.stats.bytes_to_device += src.nbytes
+        self.stats.total_time_ns += t
+        return t
+
+    def to_host(self, buffer: DeviceBuffer) -> "tuple[np.ndarray, float]":
+        """Download a buffer; returns (array copy, time ns)."""
+        t = self.time_ns(buffer.nbytes)
+        self.stats.transfers += 1
+        self.stats.bytes_to_host += buffer.nbytes
+        self.stats.total_time_ns += t
+        return buffer.array.copy(), t

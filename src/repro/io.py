@@ -1,0 +1,135 @@
+"""Index persistence: save/load trees as ``.npz`` archives.
+
+The archive stores the *logical contents* (sorted key/value pairs) plus
+the structure kind and build parameters; loading bulk-builds the tree
+— the approach the paper's own batch-rebuild pipeline implies for
+implicit structures, and a clean round trip for all of them.  (The
+regular tree's dynamic split history is not preserved: a reloaded tree
+is a freshly bulk-loaded equivalent.)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.hbtree import HBPlusTree
+from repro.core.hbtree_implicit import ImplicitHBPlusTree
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.cpu.btree_regular import RegularCpuBPlusTree
+from repro.cpu.css_tree import CssTree
+from repro.cpu.fast_tree import FastTree
+from repro.memsim.mainmem import MemorySystem
+from repro.platform.configs import MachineConfig
+
+_KINDS = {
+    ImplicitCpuBPlusTree: "implicit-cpu",
+    RegularCpuBPlusTree: "regular-cpu",
+    CssTree: "css",
+    FastTree: "fast",
+    ImplicitHBPlusTree: "hb-implicit",
+    HBPlusTree: "hb-regular",
+}
+
+
+def _contents(tree):
+    """(keys, values) of any supported tree, in key order."""
+    if isinstance(tree, (ImplicitHBPlusTree, HBPlusTree)):
+        tree = tree.cpu_tree
+    if isinstance(tree, (CssTree, FastTree)):
+        return tree.sorted_keys.copy(), tree.sorted_values.copy()
+    if isinstance(tree, ImplicitCpuBPlusTree):
+        items = tree.items()
+        spec = tree.spec
+        keys = np.asarray([k for k, _v in items], dtype=spec.dtype)
+        values = np.asarray([v for _k, v in items], dtype=spec.dtype)
+        return keys, values
+    if isinstance(tree, RegularCpuBPlusTree):
+        items = list(tree.items())
+        spec = tree.spec
+        keys = np.asarray([k for k, _v in items], dtype=spec.dtype)
+        values = np.asarray([v for _k, v in items], dtype=spec.dtype)
+        return keys, values
+    raise TypeError(f"cannot persist a {type(tree).__name__}")
+
+
+def save_index(tree, path: Union[str, Path]) -> Path:
+    """Serialize a tree's contents + build parameters to ``path``.
+
+    Returns the written path (``.npz`` appended if missing).
+    """
+    for cls, kind in _KINDS.items():
+        if type(tree) is cls:
+            break
+    else:
+        raise TypeError(f"cannot persist a {type(tree).__name__}")
+    keys, values = _contents(tree)
+    spec = tree.spec
+    meta = {
+        "kind": kind,
+        "key_bits": spec.bits,
+        "version": 1,
+    }
+    if kind == "implicit-cpu":
+        meta["fanout"] = tree.fanout
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez_compressed(
+        path, keys=keys, values=values,
+        meta=np.asarray([f"{k}={v}" for k, v in meta.items()]),
+    )
+    return path
+
+
+def _parse_meta(raw) -> dict:
+    meta = {}
+    for entry in raw.tolist():
+        k, v = str(entry).split("=", 1)
+        meta[k] = v
+    return meta
+
+
+def load_index(
+    path: Union[str, Path],
+    mem: Optional[MemorySystem] = None,
+    machine: Optional[MachineConfig] = None,
+    fill: float = 1.0,
+):
+    """Rebuild a persisted tree.
+
+    Hybrid kinds (``hb-*``) need ``machine``; CPU kinds optionally take
+    ``mem`` for instrumentation.  ``fill`` sets the big-leaf occupancy
+    for the regular kinds (load at ~0.7 when updates will follow).
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        keys = archive["keys"]
+        values = archive["values"]
+        meta = _parse_meta(archive["meta"])
+    kind = meta["kind"]
+    key_bits = int(meta["key_bits"])
+    if kind == "implicit-cpu":
+        return ImplicitCpuBPlusTree(
+            keys, values, key_bits=key_bits,
+            fanout=int(meta["fanout"]), mem=mem,
+        )
+    if kind == "regular-cpu":
+        return RegularCpuBPlusTree(keys, values, key_bits=key_bits, mem=mem,
+                                   fill=fill)
+    if kind == "css":
+        return CssTree(keys, values, key_bits=key_bits, mem=mem)
+    if kind == "fast":
+        return FastTree(keys, values, key_bits=key_bits, mem=mem)
+    if kind == "hb-implicit":
+        if machine is None:
+            raise ValueError("loading a hb-implicit index requires a machine")
+        return ImplicitHBPlusTree(keys, values, machine=machine,
+                                  key_bits=key_bits, mem=mem)
+    if kind == "hb-regular":
+        if machine is None:
+            raise ValueError("loading a hb-regular index requires a machine")
+        return HBPlusTree(keys, values, machine=machine, key_bits=key_bits,
+                          mem=mem, fill=fill)
+    raise ValueError(f"unknown index kind {kind!r} in {path}")

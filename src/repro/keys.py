@@ -1,0 +1,89 @@
+"""Key/value type descriptions shared by all tree variants.
+
+The paper develops 64-bit and 32-bit versions of every tree.  A cache
+line (64 bytes) holds 8 64-bit or 16 32-bit variables, which determines
+node fanouts throughout the designs (section 4.1 / 5.2):
+
+==============================  =======  =======
+quantity                         64-bit   32-bit
+==============================  =======  =======
+keys per cache line                    8       16
+implicit CPU tree fanout               9       17
+implicit HB+-tree fanout               8       16
+regular tree fanout                   64      256
+leaf pairs per cache line (P_L)        4        8
+==============================  =======  =======
+
+Keys are unsigned; the maximum representable value (``2**n - 1``) is
+reserved as the padding sentinel — the paper sets "all empty keys of each
+inner node to the maximum value" so node search needs no size field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KeySpec:
+    """Width-dependent constants for one key size."""
+
+    bits: int
+    dtype: type
+    cache_line: int = 64
+
+    @property
+    def size_bytes(self) -> int:
+        return self.bits // 8
+
+    @property
+    def max_value(self) -> int:
+        """The sentinel: ``2**n - 1`` for an n-bit unsigned integer."""
+        return (1 << self.bits) - 1
+
+    @property
+    def keys_per_line(self) -> int:
+        return self.cache_line // self.size_bytes
+
+    @property
+    def leaf_pairs_per_line(self) -> int:
+        """P_L: key-value pairs per cache line (paper section 4.1)."""
+        return self.keys_per_line // 2
+
+    @property
+    def implicit_cpu_fanout(self) -> int:
+        """Fanout of the CPU-optimized implicit tree: keys/line + 1."""
+        return self.keys_per_line + 1
+
+    @property
+    def implicit_hybrid_fanout(self) -> int:
+        """Fanout of the implicit HB+-tree (last key pinned to MAX)."""
+        return self.keys_per_line
+
+    @property
+    def regular_fanout(self) -> int:
+        """F_I of the regular trees: 64 (64-bit) or 256 (32-bit)."""
+        return self.keys_per_line**2
+
+    @property
+    def gpu_threads_per_query(self) -> int:
+        """T in section 5.3: 8 for 64-bit keys, 16 for 32-bit keys."""
+        return self.keys_per_line
+
+    def as_key_array(self, values) -> np.ndarray:
+        return np.asarray(values, dtype=self.dtype)
+
+
+KEY64 = KeySpec(bits=64, dtype=np.uint64)
+KEY32 = KeySpec(bits=32, dtype=np.uint32)
+
+
+def key_spec(bits: int) -> KeySpec:
+    """Return the :class:`KeySpec` for 32 or 64 bit keys."""
+    if bits == 64:
+        return KEY64
+    if bits == 32:
+        return KEY32
+    raise ValueError(f"unsupported key width: {bits} (expected 32 or 64)")

@@ -1,0 +1,32 @@
+"""Simulated CPU memory hierarchy.
+
+Models the parts of the memory system the paper's CPU-side design is built
+around (section 4.1):
+
+* a huge-page-aware segment allocator (:mod:`repro.memsim.allocator`) that
+  places the inner-node segment (I-segment) and leaf segment (L-segment)
+  on small or huge pages,
+* a TLB with separate entry pools per page size and page-walk costs
+  (:mod:`repro.memsim.tlb`),
+* a set-associative LRU last-level cache (:mod:`repro.memsim.cache`),
+* a :class:`repro.memsim.mainmem.MemorySystem` facade that routes
+  cache-line accesses through TLB + cache and accumulates the counters
+  the benchmarks turn into time.
+"""
+
+from repro.memsim.allocator import PageKind, Segment, SegmentAllocator
+from repro.memsim.cache import SetAssociativeCache
+from repro.memsim.mainmem import MemorySystem, PageConfig
+from repro.memsim.metrics import AccessCounters
+from repro.memsim.tlb import Tlb
+
+__all__ = [
+    "AccessCounters",
+    "PageKind",
+    "PageConfig",
+    "Segment",
+    "SegmentAllocator",
+    "SetAssociativeCache",
+    "MemorySystem",
+    "Tlb",
+]

@@ -1,0 +1,131 @@
+"""Huge-page-aware segment allocator.
+
+The paper (section 4.1) separates tree nodes into an inner-node segment
+(I-segment) and a leaf segment (L-segment) and developed "our own memory
+allocator which allows determining whether a node resides on a huge page
+or not".  This module reproduces that: segments are carved out of a flat
+virtual address space, each segment is backed by pages of a chosen kind,
+and the resulting addresses feed the TLB/cache models.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+class PageKind(enum.Enum):
+    """Backing page size for a segment."""
+
+    SMALL = "small"
+    HUGE = "huge"
+
+
+def _round_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous virtual-address range backed by one page kind."""
+
+    name: str
+    base: int
+    size: int
+    page_kind: PageKind
+    page_size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def address_of(self, offset: int) -> int:
+        """Virtual address of byte ``offset`` within the segment."""
+        if not 0 <= offset < self.size:
+            raise ValueError(
+                f"offset {offset} outside segment {self.name!r} of size {self.size}"
+            )
+        return self.base + offset
+
+    def page_of(self, addr: int) -> int:
+        """Page number (global) covering virtual address ``addr``."""
+        if not self.contains(addr):
+            raise ValueError(f"address {addr:#x} not in segment {self.name!r}")
+        return addr // self.page_size
+
+    @property
+    def num_pages(self) -> int:
+        first = self.base // self.page_size
+        last = (self.end - 1) // self.page_size
+        return last - first + 1
+
+
+class SegmentAllocator:
+    """Carves named segments out of a flat virtual address space.
+
+    Each segment is aligned to its page size so a huge-page segment never
+    shares a page with anything else (matching how a real huge-page
+    mapping behaves).
+    """
+
+    def __init__(self, small_page: int = 4096, huge_page: int = 16 * 1024 * 1024):
+        if small_page <= 0 or huge_page <= 0:
+            raise ValueError("page sizes must be positive")
+        if huge_page % small_page != 0:
+            raise ValueError("huge page size must be a multiple of the small page size")
+        self.small_page = small_page
+        self.huge_page = huge_page
+        self._next_free = huge_page  # keep address 0 unmapped
+        self._segments: Dict[str, Segment] = {}
+
+    def page_size(self, kind: PageKind) -> int:
+        return self.small_page if kind is PageKind.SMALL else self.huge_page
+
+    def allocate(self, name: str, size: int, page_kind: PageKind) -> Segment:
+        """Allocate a new page-aligned segment.
+
+        Raises ``ValueError`` for duplicate names or non-positive sizes.
+        """
+        if name in self._segments:
+            raise ValueError(f"segment {name!r} already allocated")
+        if size <= 0:
+            raise ValueError("segment size must be positive")
+        page = self.page_size(page_kind)
+        base = _round_up(self._next_free, page)
+        segment = Segment(
+            name=name, base=base, size=size, page_kind=page_kind, page_size=page
+        )
+        self._next_free = base + _round_up(size, page)
+        self._segments[name] = segment
+        return segment
+
+    def free(self, name: str) -> None:
+        """Release a segment (the address range is not reused)."""
+        if name not in self._segments:
+            raise KeyError(f"segment {name!r} not allocated")
+        del self._segments[name]
+
+    def get(self, name: str) -> Segment:
+        return self._segments[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._segments
+
+    @property
+    def segments(self) -> List[Segment]:
+        return list(self._segments.values())
+
+    def segment_for(self, addr: int) -> Segment:
+        """The segment covering virtual address ``addr``."""
+        for segment in self._segments.values():
+            if segment.contains(addr):
+                return segment
+        raise KeyError(f"address {addr:#x} is unmapped")
+
+    @property
+    def total_allocated(self) -> int:
+        return sum(seg.size for seg in self._segments.values())

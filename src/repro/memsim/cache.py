@@ -1,0 +1,75 @@
+"""Set-associative LRU cache model (the last-level cache).
+
+The paper's hybrid design hinges on the observation that CPU tree search
+is fast while the tree fits in the LLC and becomes memory-bandwidth bound
+once it outgrows it (section 5.1).  This model makes that transition
+emerge from actual line-granularity simulation: top tree levels stay hot,
+leaf lines thrash.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from repro.memsim.metrics import AccessCounters
+
+
+class SetAssociativeCache:
+    """A classic set-associative cache with LRU replacement.
+
+    Addresses are byte addresses; the cache indexes them by line.
+    """
+
+    def __init__(self, size_bytes: int, associativity: int = 16, line_size: int = 64):
+        if size_bytes <= 0 or associativity <= 0 or line_size <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if size_bytes % (associativity * line_size) != 0:
+            # round down to a valid geometry rather than refusing odd sizes
+            size_bytes = max(
+                associativity * line_size,
+                size_bytes // (associativity * line_size) * associativity * line_size,
+            )
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_size = line_size
+        self.num_sets = size_bytes // (associativity * line_size)
+        self._sets: List[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.counters = AccessCounters()
+
+    def _set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def access(self, addr: int) -> bool:
+        """Read the line containing byte ``addr``; True on hit."""
+        line = addr // self.line_size
+        cache_set = self._sets[self._set_index(line)]
+        self.counters.line_accesses += 1
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self.counters.cache_hits += 1
+            return True
+        if len(cache_set) >= self.associativity:
+            cache_set.popitem(last=False)
+        cache_set[line] = None
+        self.counters.cache_misses += 1
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Check residency without updating LRU state or counters."""
+        line = addr // self.line_size
+        return line in self._sets[self._set_index(line)]
+
+    def flush(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.num_sets * self.associativity

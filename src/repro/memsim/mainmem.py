@@ -1,0 +1,140 @@
+"""Facade combining allocator, TLB and cache into one memory system.
+
+Tree implementations call :meth:`MemorySystem.touch` for every node (or
+cache line) they inspect; the facade performs address translation against
+the TLB model and a lookup in the LLC model, accumulating the counters
+that the platform cost model later converts into time.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.memsim.allocator import PageKind, Segment, SegmentAllocator
+from repro.memsim.cache import SetAssociativeCache
+from repro.memsim.metrics import AccessCounters
+from repro.memsim.tlb import Tlb
+
+
+class PageConfig(enum.Enum):
+    """The three memory-page configurations evaluated in Fig 7.
+
+    * ``SMALL_SMALL`` — both segments on 4 KB pages.
+    * ``HUGE_SMALL``  — I-segment on huge pages, L-segment on 4 KB pages.
+    * ``HUGE_HUGE``   — both segments on huge pages.
+    """
+
+    SMALL_SMALL = ("small", "small")
+    HUGE_SMALL = ("huge", "small")
+    HUGE_HUGE = ("huge", "huge")
+
+    @property
+    def inner_kind(self) -> PageKind:
+        return PageKind.SMALL if self.value[0] == "small" else PageKind.HUGE
+
+    @property
+    def leaf_kind(self) -> PageKind:
+        return PageKind.SMALL if self.value[1] == "small" else PageKind.HUGE
+
+
+class MemorySystem:
+    """The CPU-side simulated memory hierarchy.
+
+    Parameters mirror :class:`repro.platform.configs.CpuSpec`; a
+    convenience constructor builds one directly from a spec.
+    """
+
+    def __init__(
+        self,
+        llc_bytes: int = 20 * 1024 * 1024 // 64,
+        associativity: int = 16,
+        line_size: int = 64,
+        small_page: int = 4096,
+        huge_page: int = 16 * 1024 * 1024,
+        tlb_entries_small: int = 64,
+        stlb_entries: int = 512,
+        tlb_entries_huge: int = 4,
+        prefetch_degree: int = 2,
+    ):
+        self.line_size = line_size
+        self.allocator = SegmentAllocator(small_page=small_page, huge_page=huge_page)
+        self.cache = SetAssociativeCache(
+            llc_bytes, associativity=associativity, line_size=line_size
+        )
+        self.tlb = Tlb(
+            entries_small=tlb_entries_small,
+            stlb_entries=stlb_entries,
+            entries_huge=tlb_entries_huge,
+        )
+        from repro.memsim.prefetch import StreamPrefetcher
+        self.prefetcher = (
+            StreamPrefetcher(self.cache, degree=prefetch_degree)
+            if prefetch_degree > 0 else None
+        )
+        self.counters = AccessCounters()
+
+    @classmethod
+    def from_spec(cls, spec) -> "MemorySystem":
+        """Build a memory system matching a :class:`CpuSpec`."""
+        return cls(
+            llc_bytes=spec.llc_bytes,
+            line_size=spec.cache_line,
+            small_page=spec.small_page,
+            huge_page=spec.huge_page,
+            tlb_entries_small=spec.tlb_entries_small,
+            stlb_entries=spec.stlb_entries,
+            tlb_entries_huge=spec.tlb_entries_huge,
+        )
+
+    def allocate(self, name: str, size: int, page_kind: PageKind) -> Segment:
+        return self.allocator.allocate(name, size, page_kind)
+
+    def touch(self, segment: Segment, offset: int, nbytes: int = 64) -> int:
+        """Access ``nbytes`` at ``offset`` inside ``segment``.
+
+        Returns the number of cache misses incurred.  Each touched line
+        is translated through the TLB and looked up in the LLC.
+        """
+        if nbytes <= 0:
+            raise ValueError("access size must be positive")
+        start = segment.address_of(offset)
+        # address_of validates the start; validate the end as well
+        segment.address_of(offset + nbytes - 1)
+        first_line = start // self.line_size
+        last_line = (start + nbytes - 1) // self.line_size
+        seg_last_line = (segment.end - 1) // self.line_size
+        misses = 0
+        for line in range(first_line, last_line + 1):
+            addr = line * self.line_size
+            self.tlb.translate(addr // segment.page_size, segment.page_kind)
+            if not self.cache.access(addr):
+                misses += 1
+            if self.prefetcher is not None:
+                self.counters.prefetches += self.prefetcher.observe(
+                    segment.base, line, seg_last_line
+                )
+        touched = last_line - first_line + 1
+        self.counters.line_accesses += touched
+        self.counters.cache_hits += touched - misses
+        self.counters.cache_misses += misses
+        self.counters.tlb_hits = self.tlb.counters.tlb_hits
+        self.counters.tlb_misses_small = self.tlb.counters.tlb_misses_small
+        self.counters.tlb_misses_huge = self.tlb.counters.tlb_misses_huge
+        return misses
+
+    def touch_line(self, segment: Segment, line_index: int) -> int:
+        """Access the ``line_index``-th cache line of ``segment``."""
+        return self.touch(segment, line_index * self.line_size, self.line_size)
+
+    def reset_counters(self) -> None:
+        """Zero all counters (keeps cache/TLB *contents* warm)."""
+        self.counters.reset()
+        self.tlb.counters.reset()
+        self.cache.counters.reset()
+
+    def flush(self) -> None:
+        """Cold-start: empty the cache and TLB."""
+        self.cache.flush()
+        self.tlb.flush()
+        if self.prefetcher is not None:
+            self.prefetcher.reset()

@@ -1,0 +1,32 @@
+"""Machine descriptions and cost-model constants.
+
+The paper evaluates on two machines:
+
+* ``M1`` — Intel Xeon E5-2665 accelerated by an Nvidia Geforce GTX 780.
+* ``M2`` — Intel Core i7-4800MQ accelerated by an Nvidia Geforce GTX 770M.
+
+:func:`machine_m1` and :func:`machine_m2` return scaled simulation configs
+for these machines (see DESIGN.md section 4 for the scaling rationale).
+"""
+
+from repro.platform.configs import (
+    SCALE_FACTOR,
+    CpuSpec,
+    GpuSpec,
+    MachineConfig,
+    PcieSpec,
+    machine_m1,
+    machine_m2,
+    machine_modern,
+)
+
+__all__ = [
+    "SCALE_FACTOR",
+    "CpuSpec",
+    "GpuSpec",
+    "PcieSpec",
+    "MachineConfig",
+    "machine_m1",
+    "machine_m2",
+    "machine_modern",
+]

@@ -1,0 +1,277 @@
+"""Analytic cost model turning simulation counters into time.
+
+Every throughput/latency number the benchmarks report flows through
+here.  Inputs are *measured* per-query event counts (cache misses, TLB
+misses, GPU transactions, PCIe bytes — produced by running real queries
+through the instrumented structures) and the machine constants of
+:mod:`repro.platform.configs`; outputs are the T1-T4 step times of the
+paper's section 5.4 model and the derived throughput/latency figures.
+
+Calibration notes (see EXPERIMENTS.md): ``max_memory_parallelism``,
+``page_walk_ns_*`` and ``random_access_efficiency`` are fitted once,
+globally, to the paper's headline ratios — never per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.node_search import COMPUTE_CYCLES, NodeSearchAlgorithm
+from repro.keys import KeySpec
+from repro.platform.configs import CpuSpec, GpuSpec, MachineConfig
+
+#: fixed per-query scheduling/dispatch overhead on the CPU (ns): loop
+#: control, query load/result store, software-pipeline bookkeeping
+CPU_QUERY_OVERHEAD_NS = 12.0
+
+#: extra per-query work of the hybrid pipeline's CPU stage beyond the
+#: leaf search itself: reading the intermediate leaf index array,
+#: scattering results, bucket bookkeeping (streamed host accesses that
+#: do not appear in the leaf cache profile)
+HYBRID_STAGE_OVERHEAD_NS = 15.0
+
+#: overlap efficiency of software pipelining when node search is the
+#: branchy sequential scan: its data-dependent mispredictions flush the
+#: out-of-order window and break the miss overlap the SIMD searches
+#: keep intact (this is the SIMD variants' Fig 8 edge — branchless
+#: search, not raw compare throughput)
+SEQUENTIAL_OVERLAP_EFFICIENCY = 0.72
+
+
+@dataclass(frozen=True)
+class CpuQueryProfile:
+    """Measured per-query averages for a CPU-side search stage."""
+
+    #: cache lines touched
+    lines: float
+    #: cache lines missing the LLC
+    misses: float
+    #: TLB misses against small pages
+    tlb_small: float
+    #: TLB misses against huge pages
+    tlb_huge: float
+    #: node searches executed (inner + leaf)
+    node_searches: float
+    #: lines streamed in by the hardware prefetcher (cost bandwidth,
+    #: not latency)
+    prefetched: float = 0.0
+
+    @staticmethod
+    def from_counters(counters, node_searches_per_query: float
+                      ) -> "CpuQueryProfile":
+        """Build a profile from accumulated simulation counters."""
+        q = max(1, counters.queries)
+        return CpuQueryProfile(
+            lines=counters.line_accesses / q,
+            misses=counters.cache_misses / q,
+            tlb_small=counters.tlb_misses_small / q,
+            tlb_huge=counters.tlb_misses_huge / q,
+            node_searches=node_searches_per_query,
+            prefetched=getattr(counters, "prefetches", 0) / q,
+        )
+
+
+class CpuCostModel:
+    """Per-query time and aggregate throughput of a CPU search stage."""
+
+    def __init__(
+        self,
+        cpu: CpuSpec,
+        algorithm: NodeSearchAlgorithm = NodeSearchAlgorithm.HIERARCHICAL_SIMD,
+        pipeline_len: int = 16,
+        threads: Optional[int] = None,
+        cycles_per_node: Optional[float] = None,
+    ):
+        self.cpu = cpu
+        self.algorithm = algorithm
+        self.pipeline_len = pipeline_len
+        self.threads = threads if threads is not None else cpu.threads
+        #: override of the per-node-search compute cycles (used e.g. for
+        #: FAST, whose in-line search is a 3-stage SIMD-blocked descent
+        #: rather than one of our three node-search algorithms)
+        self.cycles_per_node = cycles_per_node
+
+    # -- components ----------------------------------------------------
+
+    def compute_ns(self, profile: CpuQueryProfile) -> float:
+        """Pure computation per query (node searches + dispatch)."""
+        per_node = (
+            self.cycles_per_node
+            if self.cycles_per_node is not None
+            else COMPUTE_CYCLES[self.algorithm]
+        )
+        cycles = per_node * profile.node_searches
+        return cycles * self.cpu.cycle_ns + CPU_QUERY_OVERHEAD_NS
+
+    def memory_ns(self, profile: CpuQueryProfile) -> float:
+        """Exposed memory stall per query, after pipeline overlap.
+
+        Overlap grows sub-linearly with the pipeline length (dependent
+        address generation and line-fill buffers limit it) and saturates
+        at the machine's effective MLP — giving Fig 20's shape: steady
+        gains up to P=16, flat beyond.
+        """
+        mlp = max(1.0, min(float(self.cpu.max_memory_parallelism),
+                           float(self.pipeline_len) ** 0.25))
+        if (self.algorithm is NodeSearchAlgorithm.SEQUENTIAL
+                and self.pipeline_len > 1 and self.cycles_per_node is None):
+            mlp = max(1.0, mlp * SEQUENTIAL_OVERLAP_EFFICIENCY)
+        stall = profile.misses * self.cpu.mem_latency_ns
+        stall += profile.tlb_small * self.cpu.page_walk_cost_small_ns
+        stall += profile.tlb_huge * self.cpu.page_walk_cost_huge_ns
+        # LLC hits still cost a few cycles each; prefetched lines are
+        # paced by memory bandwidth rather than latency
+        hits = max(0.0, profile.lines - profile.misses)
+        prefetch_ns = profile.prefetched * self.cpu.line_transfer_ns
+        return stall / mlp + hits * 4.0 + prefetch_ns
+
+    def query_ns(self, profile: CpuQueryProfile) -> float:
+        """Per-query time of one thread.
+
+        Without software pipelining (``pipeline_len == 1``) compute and
+        memory serialize; with it, they overlap.
+        """
+        comp = self.compute_ns(profile)
+        mem = self.memory_ns(profile)
+        if self.pipeline_len == 1:
+            return comp + mem
+        return max(comp, mem)
+
+    def bandwidth_cap_qps(self, profile: CpuQueryProfile) -> float:
+        """Aggregate throughput ceiling from memory bandwidth."""
+        bytes_per_query = (
+            (profile.misses + profile.prefetched) * self.cpu.cache_line
+        )
+        if bytes_per_query <= 0:
+            return float("inf")
+        return self.cpu.mem_bandwidth_gbs * 1e9 / bytes_per_query
+
+    # -- headline numbers ----------------------------------------------
+
+    def throughput_qps(self, profile: CpuQueryProfile) -> float:
+        per_thread = 1e9 / self.query_ns(profile)
+        return min(self.threads * per_thread, self.bandwidth_cap_qps(profile))
+
+    def latency_ns(self, profile: CpuQueryProfile) -> float:
+        """Time until one query's result is available.
+
+        ``pipeline_len`` queries are in flight per thread and finish
+        together, which is the latency cost of software pipelining
+        (Fig 20b).
+        """
+        return self.query_ns(profile) * self.pipeline_len
+
+    def stage_time_ns(self, profile: CpuQueryProfile, queries: int) -> float:
+        """Time for this CPU stage to process ``queries`` queries."""
+        return queries * 1e9 / self.throughput_qps(profile)
+
+
+class GpuCostModel:
+    """Kernel time of the (bandwidth-bound) GPU search stage."""
+
+    def __init__(self, gpu: GpuSpec, threads_per_query: int):
+        self.gpu = gpu
+        self.threads_per_query = threads_per_query
+
+    def kernel_ns(self, transactions: int, queries: int,
+                  levels: float) -> float:
+        """Paper's T2: ``K_init + (M / SIMD_G) * P_GPU``.
+
+        The per-query processing time is dominated by device-memory
+        transactions; a latency-bound floor applies when occupancy
+        cannot cover the per-level dependency chain.
+        """
+        bw_time = transactions * 64.0 / self.gpu.effective_bandwidth_gbs
+        inflight = max(
+            1, self.gpu.max_resident_threads // self.threads_per_query
+        )
+        waves = max(1.0, queries / inflight)
+        latency_time = waves * levels * self.gpu.mem_latency_ns
+        return self.gpu.kernel_init_ns + max(bw_time, latency_time)
+
+    def throughput_cap_qps(self, transactions_per_query: float) -> float:
+        bytes_per_query = transactions_per_query * 64.0
+        if bytes_per_query <= 0:
+            return float("inf")
+        return self.gpu.effective_bandwidth_gbs * 1e9 / bytes_per_query
+
+
+@dataclass
+class BucketCosts:
+    """The four step times of one bucket (paper section 5.4)."""
+
+    t1: float  # host -> device query transfer
+    t2: float  # GPU inner-node traversal
+    t3: float  # device -> host intermediate-result transfer
+    t4: float  # CPU leaf search
+
+    @property
+    def sequential(self) -> float:
+        """Sequential bucket handling: T_S = sum(T_i)."""
+        return self.t1 + self.t2 + self.t3 + self.t4
+
+    @property
+    def pipelined(self) -> float:
+        """CPU-GPU pipelining: T_P = T1 + max(T2 + T3, T4)."""
+        return self.t1 + max(self.t2 + self.t3, self.t4)
+
+    @property
+    def double_buffered(self) -> float:
+        """Pipelining + double buffering: T_P = max(T2, T4).
+
+        Valid when the transfers fit under the computation (the paper's
+        assumption); enforced by falling back to the pipelined bound
+        otherwise.
+        """
+        return max(self.t2, self.t4, self.t1 + self.t3)
+
+    def latency_ns(self, strategy: str) -> float:
+        """Average query latency per strategy (section 5.4)."""
+        if strategy == "sequential":
+            return self.sequential
+        if strategy == "pipelined":
+            return self.t1 + self.t2 + self.t3 + self.t4 / 2.0
+        if strategy == "double_buffered":
+            return 2.0 * self.t2 + self.t4 / 2.0 + self.t1 + self.t3
+        raise ValueError(f"unknown bucket strategy: {strategy!r}")
+
+    def throughput_qps(self, strategy: str, bucket_size: int) -> float:
+        if strategy == "sequential":
+            t = self.sequential
+        elif strategy == "pipelined":
+            t = self.pipelined
+        elif strategy == "double_buffered":
+            t = self.double_buffered
+        else:
+            raise ValueError(f"unknown bucket strategy: {strategy!r}")
+        return bucket_size * 1e9 / t
+
+
+def hybrid_bucket_costs(
+    machine: MachineConfig,
+    spec: KeySpec,
+    bucket_size: int,
+    gpu_transactions_per_query: float,
+    gpu_levels: float,
+    cpu_leaf_profile: CpuQueryProfile,
+    cpu_model: Optional[CpuCostModel] = None,
+    intermediate_bytes: Optional[int] = None,
+) -> BucketCosts:
+    """Assemble T1-T4 for one bucket of the hybrid search.
+
+    ``gpu_transactions_per_query`` and ``cpu_leaf_profile`` come from
+    instrumented runs; everything else is machine constants.
+    """
+    if cpu_model is None:
+        cpu_model = CpuCostModel(machine.cpu)
+    result_size = intermediate_bytes if intermediate_bytes else spec.size_bytes
+    t1 = machine.pcie.transfer_ns(bucket_size * spec.size_bytes)
+    gpu_model = GpuCostModel(machine.gpu, spec.gpu_threads_per_query)
+    t2 = gpu_model.kernel_ns(
+        int(gpu_transactions_per_query * bucket_size), bucket_size, gpu_levels
+    )
+    t3 = machine.pcie.transfer_ns(bucket_size * result_size)
+    t4 = cpu_model.stage_time_ns(cpu_leaf_profile, bucket_size)
+    t4 += bucket_size * HYBRID_STAGE_OVERHEAD_NS / cpu_model.threads
+    return BucketCosts(t1=t1, t2=t2, t3=t3, t4=t4)

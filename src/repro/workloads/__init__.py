@@ -1,0 +1,27 @@
+"""Workload generation: datasets, query streams, distributions."""
+
+from repro.workloads.generators import (
+    DISTRIBUTIONS,
+    generate_dataset,
+    generate_skewed_queries,
+    knuth_shuffle,
+)
+from repro.workloads.queries import (
+    QueryMix,
+    make_insert_batch,
+    make_point_queries,
+    make_range_queries,
+    make_update_mix,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "generate_dataset",
+    "generate_skewed_queries",
+    "knuth_shuffle",
+    "QueryMix",
+    "make_point_queries",
+    "make_range_queries",
+    "make_insert_batch",
+    "make_update_mix",
+]

@@ -1,0 +1,127 @@
+"""Key/value dataset and query generators (paper section 6.1).
+
+The evaluation datasets are uniformly distributed unique keys in
+``[0, MAX)``; after the tree is built the pairs are randomly permuted
+with the Knuth shuffle and replayed as the search input.  The skew
+experiment (Fig 12) additionally draws query values from Normal, Gamma
+and Zipf distributions over ``[0, 1]``, linearly mapped to the key
+domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.keys import key_spec
+
+
+def generate_dataset(
+    n: int,
+    key_bits: int = 64,
+    seed: int = 42,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Unique uniform random keys plus random values.
+
+    Keys lie strictly below the sentinel (``2**bits - 1``).  Returns
+    ``(keys, values)`` in *unsorted* (generation) order.
+    """
+    if n <= 0:
+        raise ValueError("dataset size must be positive")
+    spec = key_spec(key_bits)
+    rng = np.random.default_rng(seed)
+    if key_bits == 64:
+        # rejection-free: draw 64-bit values and deduplicate (collisions
+        # are vanishingly rare below ~2**32 keys)
+        keys = rng.integers(0, spec.max_value, size=int(n * 1.01) + 16,
+                            dtype=np.uint64)
+        keys = np.unique(keys)[:n]
+        while len(keys) < n:
+            extra = rng.integers(0, spec.max_value, size=n, dtype=np.uint64)
+            keys = np.unique(np.concatenate([keys, extra]))[:n]
+    else:
+        if n >= spec.max_value:
+            raise ValueError("dataset larger than the 32-bit key domain")
+        keys = rng.choice(
+            spec.max_value - 1, size=n, replace=False
+        ).astype(spec.dtype)
+    rng.shuffle(keys)
+    values = rng.integers(
+        0, spec.max_value, size=n, dtype=spec.dtype, endpoint=False
+    )
+    return keys.astype(spec.dtype), values
+
+
+def knuth_shuffle(array: np.ndarray, seed: int = 7) -> np.ndarray:
+    """The Fisher-Yates/Knuth shuffle [Knuth, TAOCP vol 2].
+
+    Explicit implementation (not ``rng.shuffle``) as the paper cites
+    the algorithm; returns a shuffled copy.
+    """
+    out = np.array(array, copy=True)
+    rng = np.random.default_rng(seed)
+    n = len(out)
+    # vectorized Fisher-Yates: draw all swap targets first
+    targets = (rng.random(n - 1) * np.arange(n, 1, -1)).astype(np.int64)
+    for i in range(n - 1):
+        j = i + int(targets[i])
+        out[i], out[j] = out[j], out[i]
+    return out
+
+
+def _uniform(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.random(n)
+
+
+def _normal(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Normal(mu=0.5, sigma^2=0.125), clipped into [0, 1]."""
+    return np.clip(rng.normal(0.5, np.sqrt(0.125), n), 0.0, 1.0)
+
+
+def _gamma(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Gamma(k=3, theta=3), rescaled into [0, 1]."""
+    raw = rng.gamma(3.0, 3.0, n)
+    return raw / max(raw.max(), 1e-9)
+
+
+def _zipf(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Zipf(alpha=2), rescaled into [0, 1] — the heavy-skew case."""
+    raw = rng.zipf(2.0, n).astype(np.float64)
+    # the tail can overflow to inf; clamp before normalizing
+    raw = np.clip(raw, 1.0, 1e12)
+    return raw / max(raw.max(), 1e-9)
+
+
+DISTRIBUTIONS: Dict[str, callable] = {
+    "uniform": _uniform,
+    "normal": _normal,
+    "gamma": _gamma,
+    "zipf": _zipf,
+}
+
+
+def generate_skewed_queries(
+    distribution: str,
+    n: int,
+    key_bits: int = 64,
+    seed: int = 11,
+) -> np.ndarray:
+    """Query keys drawn from a named distribution over the key domain.
+
+    Values in ``[0, 1]`` are linearly mapped to ``[0, MAX)``
+    (section 6.3, Fig 12).  The returned keys are *probe* keys: they
+    need not exist in the dataset.
+    """
+    if distribution not in DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; "
+            f"expected one of {sorted(DISTRIBUTIONS)}"
+        )
+    spec = key_spec(key_bits)
+    rng = np.random.default_rng(seed)
+    unit = DISTRIBUTIONS[distribution](rng, n)
+    # stay strictly below the sentinel: float64 rounding would push
+    # unit == 1.0 to exactly 2**bits, an invalid cast
+    scaled = np.clip(unit, 0.0, 1.0) * float(spec.max_value) * (1 - 2**-32)
+    return scaled.astype(spec.dtype)

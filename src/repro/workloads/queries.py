@@ -1,0 +1,124 @@
+"""Query-stream builders for the evaluation workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.keys import key_spec
+from repro.workloads.generators import knuth_shuffle
+
+
+def make_point_queries(keys: np.ndarray, n: int, seed: int = 7) -> np.ndarray:
+    """A stream of ``n`` point queries over existing keys.
+
+    The paper permutes the inserted pairs with the Knuth shuffle and
+    replays them; for ``n`` beyond the dataset size the stream wraps.
+    For datasets much larger than the stream, a uniform sample is drawn
+    first and the (quadratic-in-Python) explicit shuffle runs on the
+    sample only — the stream is equidistributed either way.
+    """
+    keys = np.asarray(keys)
+    if len(keys) > 4 * n:
+        rng = np.random.default_rng(seed)
+        keys = rng.choice(keys, size=2 * n, replace=False)
+    shuffled = knuth_shuffle(keys, seed=seed)
+    if n <= len(shuffled):
+        return shuffled[:n]
+    reps = -(-n // len(shuffled))
+    return np.tile(shuffled, reps)[:n]
+
+
+def make_range_queries(
+    keys: np.ndarray, n: int, matches_per_query: int, seed: int = 9
+) -> List[Tuple[int, int]]:
+    """Range queries each matching ``matches_per_query`` stored keys.
+
+    Built from the sorted key array: a window of ``matches`` consecutive
+    keys becomes the ``[lo, hi]`` bounds (Fig 17's experiment shape).
+    """
+    if matches_per_query < 1:
+        raise ValueError("a range query must match at least one key")
+    sk = np.sort(np.asarray(keys))
+    if matches_per_query > len(sk):
+        raise ValueError("matches_per_query exceeds the dataset size")
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, len(sk) - matches_per_query + 1, size=n)
+    return [
+        (int(sk[s]), int(sk[s + matches_per_query - 1])) for s in starts
+    ]
+
+
+def make_insert_batch(
+    existing: np.ndarray, n: int, key_bits: int = 64, seed: int = 13
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``n`` fresh (key, value) pairs disjoint from ``existing``."""
+    spec = key_spec(key_bits)
+    rng = np.random.default_rng(seed)
+    existing_set = set(np.asarray(existing).tolist())
+    out: List[int] = []
+    while len(out) < n:
+        draw = rng.integers(0, spec.max_value, size=2 * (n - len(out)) + 8,
+                            dtype=np.uint64 if key_bits == 64 else np.uint32)
+        for k in draw.tolist():
+            if k not in existing_set and k < spec.max_value:
+                existing_set.add(k)
+                out.append(k)
+                if len(out) == n:
+                    break
+    keys = np.asarray(out, dtype=spec.dtype)
+    values = rng.integers(0, spec.max_value, size=n, dtype=spec.dtype)
+    return keys, values
+
+
+@dataclass(frozen=True)
+class QueryMix:
+    """A mixed search/update stream (appendix B.3, Fig 21)."""
+
+    search_keys: np.ndarray
+    update_keys: np.ndarray
+    update_values: np.ndarray
+    #: interleaving: op[i] True means update, False means search
+    is_update: np.ndarray
+
+    @property
+    def update_ratio(self) -> float:
+        if len(self.is_update) == 0:
+            return 0.0
+        return float(np.mean(self.is_update))
+
+    def __len__(self) -> int:
+        return len(self.is_update)
+
+
+def make_update_mix(
+    existing: np.ndarray,
+    n: int,
+    update_ratio: float,
+    key_bits: int = 64,
+    seed: int = 17,
+) -> QueryMix:
+    """A stream of ``n`` operations with the given update fraction."""
+    if not 0.0 <= update_ratio <= 1.0:
+        raise ValueError("update_ratio must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    n_updates = int(round(n * update_ratio))
+    n_searches = n - n_updates
+    search_keys = make_point_queries(existing, max(n_searches, 1), seed=seed)
+    upd_keys, upd_vals = (
+        make_insert_batch(existing, n_updates, key_bits, seed=seed + 1)
+        if n_updates
+        else (np.empty(0, dtype=existing.dtype),
+              np.empty(0, dtype=existing.dtype))
+    )
+    flags = np.zeros(n, dtype=bool)
+    flags[:n_updates] = True
+    rng.shuffle(flags)
+    return QueryMix(
+        search_keys=search_keys[:n_searches],
+        update_keys=upd_keys,
+        update_values=upd_vals,
+        is_update=flags,
+    )

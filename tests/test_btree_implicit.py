@@ -1,0 +1,242 @@
+"""Implicit CPU-optimized B+-tree (section 4.1, Fig 2 a-b)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.cpu.node_search import NodeSearchAlgorithm
+from repro.keys import KEY64
+from repro.memsim.mainmem import MemorySystem, PageConfig
+
+
+def build(keys, values, **kw):
+    return ImplicitCpuBPlusTree(keys, values, **kw)
+
+
+class TestConstruction:
+    def test_all_keys_found(self, dataset64):
+        keys, values = dataset64
+        tree = build(keys, values)
+        assert np.array_equal(tree.lookup_batch(keys), values)
+
+    def test_scalar_matches_batch(self, small_dataset64):
+        keys, values = small_dataset64
+        tree = build(keys, values)
+        for k, v in zip(keys[:64].tolist(), values[:64].tolist()):
+            assert tree.lookup(k) == v
+
+    def test_height_formula(self):
+        """H = ceil(log9(N/4 + 1)) for the full 64-bit tree."""
+        for exp in range(8, 15):
+            n = 1 << exp
+            keys = np.arange(1, n + 1, dtype=np.uint64)
+            tree = build(keys, keys)
+            expected = math.ceil(math.log(n / 4 + 1, 9))
+            assert tree.height == expected, f"n={n}"
+
+    def test_lines_per_query_is_height_plus_one(self, dataset64):
+        keys, values = dataset64
+        tree = build(keys, values)
+        assert tree.lines_per_query == tree.height + 1
+
+    def test_single_leaf_tree(self):
+        tree = build([5, 1, 3], [50, 10, 30])
+        assert tree.height == 0
+        assert tree.lookup(3) == 30
+        assert tree.lookup(2) is None
+
+    def test_one_tuple(self):
+        tree = build([7], [70])
+        assert tree.lookup(7) == 70
+        assert len(tree) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build([], [])
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            build([1, 1, 2], [1, 2, 3])
+
+    def test_sentinel_key_rejected(self):
+        with pytest.raises(ValueError):
+            build([KEY64.max_value], [1])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            build([1, 2], [1])
+
+    def test_unsorted_input_sorted_internally(self):
+        tree = build([9, 1, 5], [90, 10, 50])
+        assert tree.items() == [(1, 10), (5, 50), (9, 90)]
+
+    def test_invalid_fanout_rejected(self, small_dataset64):
+        keys, values = small_dataset64
+        with pytest.raises(ValueError):
+            build(keys, values, fanout=1)
+        with pytest.raises(ValueError):
+            build(keys, values, fanout=12)
+
+
+class TestLookup:
+    def test_absent_keys_return_none(self, dataset64):
+        keys, values = dataset64
+        tree = build(keys, values)
+        present = set(keys.tolist())
+        rng = np.random.default_rng(0)
+        probes = [int(x) for x in rng.choice(2**62, size=50)
+                  if int(x) not in present]
+        for p in probes:
+            assert tree.lookup(p) is None
+
+    def test_batch_not_found_sentinel(self, dataset64):
+        keys, values = dataset64
+        tree = build(keys, values)
+        out = tree.lookup_batch(np.asarray([KEY64.max_value - 1],
+                                           dtype=np.uint64))
+        assert out[0] == KEY64.max_value
+
+    def test_probe_above_global_max(self, dataset64):
+        keys, values = dataset64
+        tree = build(keys, values)
+        assert tree.lookup(int(keys.max()) + 1) is None
+
+    def test_probe_below_global_min(self, dataset64):
+        keys, values = dataset64
+        tree = build(keys, values)
+        lo = int(np.min(keys))
+        if lo > 0:
+            assert tree.lookup(lo - 1) is None
+
+    def test_contains(self, small_dataset64):
+        keys, values = small_dataset64
+        tree = build(keys, values)
+        assert int(keys[0]) in tree
+        assert (int(keys.max()) + 1) not in tree
+
+    @pytest.mark.parametrize("algo", list(NodeSearchAlgorithm))
+    def test_all_algorithms_agree(self, small_dataset64, algo):
+        keys, values = small_dataset64
+        tree = build(keys, values, algorithm=algo)
+        for k, v in zip(keys[:48].tolist(), values[:48].tolist()):
+            assert tree.lookup(k) == v
+
+
+class TestHybridFanout:
+    def test_fanout8_correct(self, dataset64):
+        keys, values = dataset64
+        tree = build(keys, values, fanout=8)
+        assert np.array_equal(tree.lookup_batch(keys), values)
+
+    def test_fanout8_deeper_or_equal(self, dataset64):
+        keys, values = dataset64
+        t9 = build(keys, values, fanout=9)
+        t8 = build(keys, values, fanout=8)
+        assert t8.height >= t9.height
+
+    def test_catch_all_pins(self, dataset64):
+        """Every hybrid-style node's last used key slot is the sentinel."""
+        keys, values = dataset64
+        tree = build(keys, values, fanout=8)
+        for level in tree.inner_levels:
+            assert np.all(level[:, -1] == KEY64.max_value)
+
+    def test_overflow_probe_routes_to_rightmost_leaf(self, dataset64):
+        keys, values = dataset64
+        tree = build(keys, values, fanout=8)
+        assert tree.lookup(int(keys.max()) + 999) is None
+
+
+class Test32Bit:
+    def test_lookup(self, dataset32):
+        keys, values = dataset32
+        tree = build(keys, values, key_bits=32)
+        assert np.array_equal(tree.lookup_batch(keys), values)
+
+    def test_height_formula_32(self):
+        n = 1 << 14
+        keys = np.arange(1, n + 1, dtype=np.uint32)
+        tree = ImplicitCpuBPlusTree(keys, keys, key_bits=32)
+        expected = math.ceil(math.log(n / 8 + 1, 17))
+        assert tree.height == expected
+
+
+class TestRangeQueries:
+    def test_full_window(self, dataset64):
+        keys, values = dataset64
+        tree = build(keys, values)
+        sk = np.sort(keys)
+        got = tree.range_query(int(sk[100]), int(sk[160]))
+        assert len(got) == 61
+        assert [k for k, _ in got] == sorted(sk[100:161].tolist())
+
+    def test_values_correct(self, small_dataset64):
+        keys, values = small_dataset64
+        tree = build(keys, values)
+        lookup = dict(zip(keys.tolist(), values.tolist()))
+        sk = np.sort(keys)
+        for k, v in tree.range_query(int(sk[3]), int(sk[20])):
+            assert lookup[k] == v
+
+    def test_empty_range(self, dataset64):
+        keys, values = dataset64
+        tree = build(keys, values)
+        assert tree.range_query(10, 5) == []
+
+    def test_range_beyond_max(self, dataset64):
+        keys, values = dataset64
+        tree = build(keys, values)
+        hi = int(keys.max())
+        got = tree.range_query(hi, hi + 10**6)
+        assert got[0][0] == hi
+
+    def test_single_key_range(self, dataset64):
+        keys, values = dataset64
+        tree = build(keys, values)
+        k = int(keys[7])
+        got = tree.range_query(k, k)
+        assert got == [(k, int(values[7]))]
+
+
+class TestRebuild:
+    def test_rebuild_replaces_contents(self, dataset64, small_dataset64):
+        keys, values = dataset64
+        nk, nv = small_dataset64
+        tree = build(keys, values)
+        tree.rebuild(nk, nv)
+        assert np.array_equal(tree.lookup_batch(nk), nv)
+        assert len(tree) == len(nk)
+
+    def test_rebuild_with_mem_reallocates_segments(self, dataset64, mem):
+        keys, values = dataset64
+        tree = build(keys, values, mem=mem)
+        old_i = tree.i_segment
+        tree.rebuild(keys[:100], values[:100])
+        assert tree.i_segment is not old_i
+
+
+class TestInstrumentation:
+    def test_lookup_touches_expected_lines(self, dataset64, mem):
+        keys, values = dataset64
+        tree = build(keys, values, mem=mem)
+        mem.reset_counters()
+        tree.lookup(int(keys[0]))
+        assert mem.counters.line_accesses == tree.lines_per_query
+        assert mem.counters.queries == 1
+
+    def test_page_config_controls_segment_kinds(self, dataset64):
+        keys, values = dataset64
+        mem = MemorySystem()
+        tree = build(keys, values, mem=mem,
+                     page_config=PageConfig.HUGE_SMALL)
+        assert tree.i_segment.page_kind.value == "huge"
+        assert tree.l_segment.page_kind.value == "small"
+
+    def test_segment_sizes(self, dataset64, mem):
+        keys, values = dataset64
+        tree = build(keys, values, mem=mem)
+        assert tree.i_segment.size == tree.i_segment_bytes
+        assert tree.l_segment.size == tree.l_segment_bytes
+        assert tree.i_segment_bytes == tree.num_inner_nodes * 64

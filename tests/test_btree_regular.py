@@ -1,0 +1,247 @@
+"""Regular (pointer-based) CPU-optimized B+-tree (Fig 2 c-d)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.btree_regular import RegularCpuBPlusTree
+from repro.keys import KEY64
+from repro.memsim.mainmem import MemorySystem
+
+
+class TestBulkBuild:
+    def test_all_keys_found(self, dataset64):
+        keys, values = dataset64
+        tree = RegularCpuBPlusTree(keys, values)
+        assert np.array_equal(tree.lookup_batch(keys), values)
+        tree.check_invariants()
+
+    def test_scalar_matches_batch(self, small_dataset64):
+        keys, values = small_dataset64
+        tree = RegularCpuBPlusTree(keys, values)
+        for k, v in zip(keys[:64].tolist(), values[:64].tolist()):
+            assert tree.lookup(k) == v
+
+    def test_leaf_capacity_is_256_pairs(self):
+        tree = RegularCpuBPlusTree(key_bits=64)
+        assert tree.leaves.capacity_pairs == 256
+
+    def test_inner_node_is_17_cache_lines(self):
+        tree = RegularCpuBPlusTree(key_bits=64)
+        assert tree.lines_per_inner == 17
+
+    def test_32bit_inner_node_is_33_cache_lines(self):
+        tree = RegularCpuBPlusTree(key_bits=32)
+        assert tree.lines_per_inner == 33
+        assert tree.leaves.capacity_pairs == 256 * 8
+
+    def test_fill_factor_leaves_room(self, dataset64):
+        keys, values = dataset64
+        packed = RegularCpuBPlusTree(keys, values, fill=1.0)
+        loose = RegularCpuBPlusTree(keys, values, fill=0.5)
+        assert loose.leaves.count > packed.leaves.count
+        loose.check_invariants()
+
+    def test_invalid_fill_rejected(self, dataset64):
+        keys, values = dataset64
+        with pytest.raises(ValueError):
+            RegularCpuBPlusTree(keys, values, fill=0.0)
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            RegularCpuBPlusTree([1, 1], [1, 2])
+
+    def test_leaf_chain_sorted(self, dataset64):
+        keys, values = dataset64
+        tree = RegularCpuBPlusTree(keys, values)
+        items = list(tree.items())
+        assert [k for k, _ in items] == sorted(keys.tolist())
+
+    def test_last_level_pools_share_index(self, dataset64):
+        keys, values = dataset64
+        tree = RegularCpuBPlusTree(keys, values)
+        assert tree.last.count == tree.leaves.count
+
+
+class TestInsert:
+    def test_insert_into_empty(self):
+        tree = RegularCpuBPlusTree()
+        assert tree.insert(5, 50)
+        assert tree.lookup(5) == 50
+        assert len(tree) == 1
+
+    def test_insert_overwrites(self):
+        tree = RegularCpuBPlusTree()
+        tree.insert(5, 50)
+        assert not tree.insert(5, 51)
+        assert tree.lookup(5) == 51
+        assert len(tree) == 1
+
+    def test_sequential_inserts(self):
+        tree = RegularCpuBPlusTree()
+        for k in range(2000):
+            tree.insert(k, k * 2)
+        tree.check_invariants()
+        assert len(tree) == 2000
+        assert all(tree.lookup(k) == k * 2 for k in range(0, 2000, 37))
+
+    def test_descending_inserts(self):
+        tree = RegularCpuBPlusTree()
+        for k in range(1500, 0, -1):
+            tree.insert(k, k)
+        tree.check_invariants()
+        assert len(tree) == 1500
+
+    def test_random_inserts(self):
+        import random
+        random.seed(3)
+        tree = RegularCpuBPlusTree()
+        ks = random.sample(range(10**9), 3000)
+        for k in ks:
+            tree.insert(k, k % 101)
+        tree.check_invariants()
+        assert all(tree.lookup(k) == k % 101 for k in ks[::17])
+
+    def test_insert_grows_height(self):
+        tree = RegularCpuBPlusTree()
+        assert tree.height == 1
+        # >64 big leaves forces a second inner level
+        for k in range(64 * 256 + 300):
+            tree.insert(k, 0)
+        assert tree.height >= 2
+        tree.check_invariants()
+
+    def test_insert_into_bulk_built(self, dataset64):
+        keys, values = dataset64
+        tree = RegularCpuBPlusTree(keys, values, fill=0.7)
+        existing = set(keys.tolist())
+        rng = np.random.default_rng(5)
+        new = [int(x) for x in rng.choice(2**60, size=500)
+               if int(x) not in existing]
+        for k in new:
+            tree.insert(k, k % 7)
+        tree.check_invariants()
+        assert all(tree.lookup(k) == k % 7 for k in new)
+        assert np.array_equal(tree.lookup_batch(keys), values)
+
+    def test_sentinel_key_rejected(self):
+        tree = RegularCpuBPlusTree()
+        with pytest.raises(ValueError):
+            tree.insert(KEY64.max_value, 0)
+
+    def test_insert_raises_routing_keys(self):
+        tree = RegularCpuBPlusTree(np.arange(1, 1000, dtype=np.uint64),
+                                   np.arange(1, 1000, dtype=np.uint64))
+        tree.insert(10**9, 1)  # beyond the previous maximum
+        tree.check_invariants()
+        assert tree.lookup(10**9) == 1
+
+
+class TestDelete:
+    def test_delete_present(self, small_dataset64):
+        keys, values = small_dataset64
+        tree = RegularCpuBPlusTree(keys, values)
+        assert tree.delete(int(keys[0]))
+        assert tree.lookup(int(keys[0])) is None
+        assert len(tree) == len(keys) - 1
+        tree.check_invariants()
+
+    def test_delete_absent(self, small_dataset64):
+        keys, values = small_dataset64
+        tree = RegularCpuBPlusTree(keys, values)
+        assert not tree.delete(int(keys.max()) + 1)
+        assert len(tree) == len(keys)
+
+    def test_delete_everything(self):
+        tree = RegularCpuBPlusTree()
+        ks = list(range(0, 600, 3))
+        for k in ks:
+            tree.insert(k, k)
+        for k in ks:
+            assert tree.delete(k)
+        assert len(tree) == 0
+        tree.check_invariants()
+        assert all(tree.lookup(k) is None for k in ks)
+
+    def test_delete_then_reinsert(self):
+        tree = RegularCpuBPlusTree()
+        for k in range(400):
+            tree.insert(k, k)
+        for k in range(0, 400, 2):
+            tree.delete(k)
+        for k in range(0, 400, 2):
+            tree.insert(k, k + 1)
+        tree.check_invariants()
+        assert tree.lookup(10) == 11
+        assert tree.lookup(11) == 11
+
+    def test_delete_unlinks_empty_big_leaf(self, dataset64):
+        keys, values = dataset64
+        tree = RegularCpuBPlusTree(keys, values)
+        # wipe the entire first big leaf
+        first = tree._first_leaf
+        victims = tree.leaves.keys[first, : tree.leaves.size[first]].tolist()
+        nxt = int(tree.leaves.next[first])
+        for k in victims:
+            tree.delete(int(k))
+        assert tree._first_leaf == nxt
+        tree.check_invariants()
+
+
+class TestRangeQueries:
+    def test_window(self, dataset64):
+        keys, values = dataset64
+        tree = RegularCpuBPlusTree(keys, values)
+        sk = np.sort(keys)
+        got = tree.range_query(int(sk[50]), int(sk[99]))
+        assert [k for k, _ in got] == sk[50:100].tolist()
+
+    def test_cross_leaf_boundaries(self):
+        n = 1200  # spans several big leaves
+        keys = np.arange(0, 2 * n, 2, dtype=np.uint64)
+        tree = RegularCpuBPlusTree(keys, keys)
+        got = tree.range_query(100, 1100)
+        assert [k for k, _ in got] == list(range(100, 1101, 2))
+
+    def test_empty_tree_range(self):
+        tree = RegularCpuBPlusTree()
+        assert tree.range_query(0, 100) == []
+
+
+class TestStructure:
+    def test_three_lines_per_inner_search(self, dataset64):
+        keys, values = dataset64
+        mem = MemorySystem()
+        tree = RegularCpuBPlusTree(keys, values, mem=mem)
+        mem.reset_counters()
+        tree.lookup(int(keys[0]))
+        # 3 lines per inner level + 1 leaf line (section 4.1: 3H + 1)
+        assert mem.counters.line_accesses == 3 * tree.height + 1
+
+    def test_empty_key_slots_hold_sentinel(self, dataset64):
+        keys, values = dataset64
+        tree = RegularCpuBPlusTree(keys, values)
+        node = tree.root if tree.height > 1 else None
+        if node is not None:
+            size = int(tree.upper.size[node])
+            assert np.all(
+                tree.upper.keys[node, size:] == KEY64.max_value
+            )
+
+    def test_index_line_is_key_line_maxima(self, dataset64):
+        keys, values = dataset64
+        tree = RegularCpuBPlusTree(keys, values)
+        kpl = tree.spec.keys_per_line
+        for node in range(tree.last.count):
+            reshaped = tree.last.keys[node].reshape(kpl, kpl)
+            assert np.array_equal(tree.last.index_line[node],
+                                  reshaped[:, -1])
+
+    def test_lookup_batch_vs_scalar_after_updates(self):
+        import random
+        random.seed(9)
+        tree = RegularCpuBPlusTree()
+        ks = random.sample(range(10**8), 1000)
+        for k in ks:
+            tree.insert(k, k % 13)
+        out = tree.lookup_batch(np.asarray(ks, dtype=np.uint64))
+        assert [int(x) for x in out] == [k % 13 for k in ks]

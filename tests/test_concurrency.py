@@ -1,0 +1,120 @@
+"""Logical-thread scheduler and lock table."""
+
+import pytest
+
+from repro.concurrency import LockTable, Operation, ThreadScheduler
+
+
+class TestLockTable:
+    def test_uncontended_grant_is_immediate(self):
+        locks = LockTable()
+        assert locks.acquire("a", now=100.0, hold_ns=50.0) == 100.0
+        assert locks.stats.contended_acquisitions == 0
+
+    def test_contended_grant_waits(self):
+        locks = LockTable()
+        locks.acquire("a", now=0.0, hold_ns=100.0)
+        granted = locks.acquire("a", now=40.0, hold_ns=10.0)
+        assert granted == 100.0
+        assert locks.stats.contended_acquisitions == 1
+        assert locks.stats.total_wait_ns == pytest.approx(60.0)
+
+    def test_distinct_resources_independent(self):
+        locks = LockTable()
+        locks.acquire("a", now=0.0, hold_ns=100.0)
+        assert locks.acquire("b", now=10.0, hold_ns=10.0) == 10.0
+
+    def test_chain_of_waiters(self):
+        locks = LockTable()
+        g1 = locks.acquire("a", 0.0, 100.0)
+        g2 = locks.acquire("a", 0.0, 100.0)
+        g3 = locks.acquire("a", 0.0, 100.0)
+        assert (g1, g2, g3) == (0.0, 100.0, 200.0)
+
+    def test_available_at_and_holder(self):
+        locks = LockTable()
+        locks.acquire("a", 5.0, 20.0, holder=3)
+        assert locks.available_at("a") == 25.0
+        assert locks.holder_of("a") == 3
+        assert locks.available_at("zzz") == 0.0
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ValueError):
+            LockTable().acquire("a", 0.0, -1.0)
+
+    def test_reset(self):
+        locks = LockTable()
+        locks.acquire("a", 0.0, 100.0)
+        locks.reset()
+        assert locks.stats.acquisitions == 0
+        assert locks.acquire("a", 0.0, 1.0) == 0.0
+
+    def test_contention_rate(self):
+        locks = LockTable()
+        locks.acquire("a", 0.0, 100.0)
+        locks.acquire("a", 0.0, 100.0)
+        assert locks.stats.contention_rate == pytest.approx(0.5)
+
+
+class TestScheduler:
+    def test_lock_free_work_scales_linearly(self):
+        ops = [Operation(work_ns=100.0) for _ in range(64)]
+        r1 = ThreadScheduler(1).run(ops)
+        r8 = ThreadScheduler(8).run(ops)
+        assert r1.makespan_ns == pytest.approx(6400.0)
+        assert r8.makespan_ns == pytest.approx(800.0)
+        assert r8.parallel_speedup == pytest.approx(8.0)
+
+    def test_single_hot_lock_serializes(self):
+        """All updates on one leaf: the locked phases serialize no
+        matter how many threads."""
+        ops = [Operation(work_ns=10.0, lock="leaf0", locked_ns=90.0)
+               for _ in range(32)]
+        r = ThreadScheduler(16).run(ops)
+        assert r.makespan_ns >= 32 * 90.0
+        assert r.lock_stats.contended_acquisitions > 0
+
+    def test_distinct_locks_parallelize(self):
+        ops = [Operation(work_ns=10.0, lock=f"leaf{i}", locked_ns=90.0)
+               for i in range(32)]
+        r = ThreadScheduler(16).run(ops)
+        assert r.makespan_ns < 32 * 100.0 / 4
+        assert r.lock_stats.contended_acquisitions == 0
+
+    def test_empty_operation_list(self):
+        r = ThreadScheduler(4).run([])
+        assert r.makespan_ns == 0.0
+        assert r.operations == 0
+
+    def test_tags_counted(self):
+        ops = [Operation(10.0, tag="search")] * 3 + [
+            Operation(10.0, tag="update")
+        ]
+        r = ThreadScheduler(2).run(ops)
+        assert r.per_tag_count == {"search": 3, "update": 1}
+
+    def test_utilization_bounded(self):
+        ops = [Operation(work_ns=50.0, lock="x", locked_ns=50.0)
+               for _ in range(16)]
+        r = ThreadScheduler(8).run(ops)
+        assert 0.0 < r.utilization <= 1.0
+
+    def test_throughput(self):
+        ops = [Operation(work_ns=100.0)] * 10
+        r = ThreadScheduler(1).run(ops)
+        assert r.throughput_ops == pytest.approx(1e9 / 100.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ThreadScheduler(0)
+        with pytest.raises(ValueError):
+            Operation(work_ns=-1.0)
+
+    def test_least_loaded_dealing(self):
+        """A long op on one thread must not delay short ops."""
+        ops = [Operation(work_ns=1000.0)] + [
+            Operation(work_ns=10.0) for _ in range(10)
+        ]
+        r = ThreadScheduler(2).run(ops)
+        # short ops all fit on the second thread while the first works
+        assert r.makespan_ns == pytest.approx(1000.0)

@@ -1,0 +1,162 @@
+"""Analytic cost model (T1-T4 assembly and CPU/GPU stage times)."""
+
+import pytest
+
+from repro.cpu.node_search import NodeSearchAlgorithm
+from repro.keys import KEY64
+from repro.memsim.metrics import AccessCounters
+from repro.platform.costmodel import (
+    BucketCosts,
+    CpuCostModel,
+    CpuQueryProfile,
+    GpuCostModel,
+    hybrid_bucket_costs,
+)
+
+PROFILE = CpuQueryProfile(
+    lines=7.0, misses=3.0, tlb_small=0.8, tlb_huge=0.0, node_searches=7.0
+)
+LEAF_PROFILE = CpuQueryProfile(
+    lines=1.0, misses=0.9, tlb_small=0.9, tlb_huge=0.0, node_searches=1.0
+)
+
+
+class TestCpuCostModel:
+    def test_compute_grows_with_node_searches(self, m1):
+        model = CpuCostModel(m1.cpu)
+        small = CpuQueryProfile(1, 0, 0, 0, node_searches=1)
+        big = CpuQueryProfile(1, 0, 0, 0, node_searches=10)
+        assert model.compute_ns(big) > model.compute_ns(small)
+
+    def test_memory_grows_with_misses(self, m1):
+        model = CpuCostModel(m1.cpu)
+        low = CpuQueryProfile(7, 1, 0, 0, 7)
+        high = CpuQueryProfile(7, 5, 0, 0, 7)
+        assert model.memory_ns(high) > model.memory_ns(low)
+
+    def test_pipeline_overlaps_memory(self, m1):
+        no_swp = CpuCostModel(m1.cpu, pipeline_len=1)
+        swp = CpuCostModel(m1.cpu, pipeline_len=16)
+        assert swp.query_ns(PROFILE) < no_swp.query_ns(PROFILE)
+
+    def test_swp_gain_saturates(self, m1):
+        q16 = CpuCostModel(m1.cpu, pipeline_len=16).query_ns(PROFILE)
+        q32 = CpuCostModel(m1.cpu, pipeline_len=32).query_ns(PROFILE)
+        assert q32 == pytest.approx(q16)
+
+    def test_swp_gain_in_paper_band(self, m1):
+        """Fig 20: ~2.5x at P=16 for a memory-bound profile."""
+        t1 = CpuCostModel(m1.cpu, pipeline_len=1).query_ns(PROFILE)
+        t16 = CpuCostModel(m1.cpu, pipeline_len=16).query_ns(PROFILE)
+        assert 1.8 <= t1 / t16 <= 3.2
+
+    def test_latency_scales_with_pipeline(self, m1):
+        model = CpuCostModel(m1.cpu, pipeline_len=16)
+        assert model.latency_ns(PROFILE) == pytest.approx(
+            16 * model.query_ns(PROFILE)
+        )
+
+    def test_throughput_bandwidth_cap(self, m1):
+        heavy = CpuQueryProfile(40, 40, 0, 0, 40)
+        model = CpuCostModel(m1.cpu)
+        assert model.throughput_qps(heavy) <= model.bandwidth_cap_qps(heavy)
+
+    def test_bandwidth_cap_infinite_without_misses(self, m1):
+        model = CpuCostModel(m1.cpu)
+        cached = CpuQueryProfile(7, 0, 0, 0, 7)
+        assert model.bandwidth_cap_qps(cached) == float("inf")
+
+    def test_sequential_algorithm_costs_more_compute(self, m1):
+        seq = CpuCostModel(m1.cpu, algorithm=NodeSearchAlgorithm.SEQUENTIAL)
+        simd = CpuCostModel(
+            m1.cpu, algorithm=NodeSearchAlgorithm.HIERARCHICAL_SIMD
+        )
+        assert seq.compute_ns(PROFILE) > simd.compute_ns(PROFILE)
+
+    def test_cycles_override(self, m1):
+        base = CpuCostModel(m1.cpu)
+        heavy = CpuCostModel(m1.cpu, cycles_per_node=100.0)
+        assert heavy.compute_ns(PROFILE) > base.compute_ns(PROFILE)
+
+    def test_tlb_misses_charged(self, m1):
+        model = CpuCostModel(m1.cpu)
+        with_tlb = CpuQueryProfile(7, 3, 1.0, 0, 7)
+        without = CpuQueryProfile(7, 3, 0.0, 0, 7)
+        assert model.memory_ns(with_tlb) > model.memory_ns(without)
+
+    def test_huge_walk_cheaper_than_small(self, m1):
+        model = CpuCostModel(m1.cpu)
+        small = CpuQueryProfile(7, 3, 1.0, 0.0, 7)
+        huge = CpuQueryProfile(7, 3, 0.0, 1.0, 7)
+        assert model.memory_ns(huge) < model.memory_ns(small)
+
+    def test_profile_from_counters(self):
+        counters = AccessCounters(
+            line_accesses=700, cache_hits=400, cache_misses=300,
+            tlb_misses_small=80, queries=100,
+        )
+        profile = CpuQueryProfile.from_counters(counters, 7.0)
+        assert profile.lines == 7.0
+        assert profile.misses == 3.0
+        assert profile.tlb_small == pytest.approx(0.8)
+
+
+class TestGpuCostModel:
+    def test_kernel_time_has_launch_overhead(self, m1):
+        model = GpuCostModel(m1.gpu, threads_per_query=8)
+        assert model.kernel_ns(0, 1, 1.0) >= m1.gpu.kernel_init_ns
+
+    def test_kernel_time_scales_with_transactions(self, m1):
+        model = GpuCostModel(m1.gpu, threads_per_query=8)
+        t1 = model.kernel_ns(10_000, 16384, 6.0)
+        t2 = model.kernel_ns(100_000, 16384, 6.0)
+        assert t2 > t1
+
+    def test_throughput_cap(self, m1):
+        model = GpuCostModel(m1.gpu, threads_per_query=8)
+        cap = model.throughput_cap_qps(6.0)
+        assert cap == pytest.approx(
+            m1.gpu.effective_bandwidth_gbs * 1e9 / (6.0 * 64)
+        )
+
+    def test_latency_floor_for_small_occupancy(self, m1):
+        tiny_gpu = m1.with_gpu(max_resident_threads=64).gpu
+        model = GpuCostModel(tiny_gpu, threads_per_query=8)
+        # only 8 queries in flight: waves of latency dominate
+        t = model.kernel_ns(100, 16384, 6.0)
+        waves = 16384 / 8
+        assert t >= waves * 6.0 * tiny_gpu.mem_latency_ns
+
+
+class TestHybridBucketCosts:
+    def test_assembly(self, m1):
+        costs = hybrid_bucket_costs(
+            m1, KEY64, 16384,
+            gpu_transactions_per_query=5.5,
+            gpu_levels=6.0,
+            cpu_leaf_profile=LEAF_PROFILE,
+        )
+        assert costs.t1 == pytest.approx(
+            m1.pcie.transfer_ns(16384 * 8)
+        )
+        assert costs.t3 == pytest.approx(m1.pcie.transfer_ns(16384 * 8))
+        assert costs.t2 > m1.gpu.kernel_init_ns
+        assert costs.t4 > 0
+
+    def test_bigger_buckets_amortize_overheads(self, m1):
+        def per_query(bucket):
+            c = hybrid_bucket_costs(
+                m1, KEY64, bucket, 5.5, 6.0, LEAF_PROFILE
+            )
+            return c.double_buffered / bucket
+
+        assert per_query(64 * 1024) < per_query(8 * 1024)
+
+    def test_intermediate_bytes_override(self, m1):
+        small = hybrid_bucket_costs(
+            m1, KEY64, 16384, 5.5, 6.0, LEAF_PROFILE, intermediate_bytes=4
+        )
+        big = hybrid_bucket_costs(
+            m1, KEY64, 16384, 5.5, 6.0, LEAF_PROFILE, intermediate_bytes=16
+        )
+        assert big.t3 > small.t3

@@ -1,0 +1,116 @@
+"""CSS-tree (Rao & Ross) — the third leaf-stored structure."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.css_tree import CssTree
+from repro.cpu.node_search import NodeSearchAlgorithm
+from repro.keys import KEY64
+from repro.memsim.mainmem import MemorySystem
+
+
+class TestLookup:
+    def test_all_keys_found(self, dataset64):
+        keys, values = dataset64
+        tree = CssTree(keys, values)
+        assert np.array_equal(tree.lookup_batch(keys), values)
+
+    def test_scalar_matches_batch(self, small_dataset64):
+        keys, values = small_dataset64
+        tree = CssTree(keys, values)
+        for k, v in zip(keys[:80].tolist(), values[:80].tolist()):
+            assert tree.lookup(k) == v
+
+    def test_absent(self, dataset64):
+        keys, values = dataset64
+        tree = CssTree(keys, values)
+        assert tree.lookup(int(keys.max()) + 1) is None
+        present = set(keys.tolist())
+        rng = np.random.default_rng(2)
+        for probe in rng.choice(2**61, size=30).tolist():
+            if int(probe) not in present:
+                assert tree.lookup(int(probe)) is None
+
+    def test_single_tuple(self):
+        tree = CssTree([7], [70])
+        assert tree.height == 0
+        assert tree.lookup(7) == 70
+        assert tree.lookup(8) is None
+
+    def test_32bit(self, dataset32):
+        keys, values = dataset32
+        tree = CssTree(keys, values, key_bits=32)
+        assert np.array_equal(tree.lookup_batch(keys), values)
+
+    @pytest.mark.parametrize("algo", list(NodeSearchAlgorithm))
+    def test_all_search_algorithms(self, small_dataset64, algo):
+        keys, values = small_dataset64
+        tree = CssTree(keys, values, algorithm=algo)
+        for k, v in zip(keys[:40].tolist(), values[:40].tolist()):
+            assert tree.lookup(k) == v
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            CssTree([3, 3], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CssTree([], [])
+
+    def test_sentinel_rejected(self):
+        with pytest.raises(ValueError):
+            CssTree([KEY64.max_value], [1])
+
+
+class TestStructure:
+    def test_directory_smaller_than_btree_inner(self, dataset64):
+        """The CSS-tree's whole point: no leaf copies, tiny directory."""
+        from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+        keys, values = dataset64
+        css = CssTree(keys, values)
+        bt = ImplicitCpuBPlusTree(keys, values)
+        data_bytes = len(keys) * 16
+        assert css.directory_bytes < data_bytes / 4
+        # and the directory is no larger than the B+-tree's I-segment
+        assert css.directory_bytes <= bt.i_segment_bytes
+
+    def test_runs_cover_all_tuples(self, dataset64):
+        keys, values = dataset64
+        tree = CssTree(keys, values)
+        assert tree.num_runs == -(-len(keys) // tree.fanout)
+
+    def test_instrumented_lookup_touches_directory_plus_run(self, dataset64):
+        keys, values = dataset64
+        mem = MemorySystem()
+        tree = CssTree(keys, values, mem=mem)
+        mem.reset_counters()
+        tree.lookup(int(keys[0]))
+        # height directory lines + the run (2 lines of packed pairs)
+        assert mem.counters.line_accesses == tree.height + 2
+
+    def test_overflow_probe_routes_rightmost(self, dataset64):
+        keys, values = dataset64
+        tree = CssTree(keys, values)
+        assert tree.lookup(int(keys.max()) + 12345) is None
+
+
+class TestRangeQueries:
+    def test_window(self, dataset64):
+        keys, values = dataset64
+        tree = CssTree(keys, values)
+        sk = np.sort(keys)
+        got = tree.range_query(int(sk[10]), int(sk[60]))
+        assert [k for k, _v in got] == sk[10:61].tolist()
+
+    def test_empty(self, dataset64):
+        keys, values = dataset64
+        tree = CssTree(keys, values)
+        assert tree.range_query(5, 4) == []
+
+    def test_values_correct(self, small_dataset64):
+        keys, values = small_dataset64
+        tree = CssTree(keys, values)
+        model = dict(zip(keys.tolist(), values.tolist()))
+        sk = np.sort(keys)
+        for k, v in tree.range_query(int(sk[0]), int(sk[-1])):
+            assert model[k] == v

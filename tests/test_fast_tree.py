@@ -1,0 +1,91 @@
+"""FAST baseline (Fig 9's comparison tree)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cpu.fast_tree import FastTree
+from repro.keys import KEY64
+from repro.memsim.mainmem import MemorySystem
+
+
+class TestLookup:
+    def test_all_keys_found(self, dataset64):
+        keys, values = dataset64
+        tree = FastTree(keys, values)
+        assert np.array_equal(tree.lookup_batch(keys), values)
+
+    def test_scalar_matches_batch(self, small_dataset64):
+        keys, values = small_dataset64
+        tree = FastTree(keys, values)
+        for k, v in zip(keys[:64].tolist(), values[:64].tolist()):
+            assert tree.lookup(k) == v
+
+    def test_absent(self, dataset64):
+        keys, values = dataset64
+        tree = FastTree(keys, values)
+        assert tree.lookup(int(keys.max()) + 1) is None
+        present = set(keys.tolist())
+        rng = np.random.default_rng(1)
+        for probe in rng.choice(2**61, size=40).tolist():
+            if int(probe) not in present:
+                assert tree.lookup(int(probe)) is None
+
+    def test_single_tuple(self):
+        tree = FastTree([42], [420])
+        assert tree.lookup(42) == 420
+        assert tree.lookup(41) is None
+
+    def test_32bit(self, dataset32):
+        keys, values = dataset32
+        tree = FastTree(keys, values, key_bits=32)
+        assert np.array_equal(tree.lookup_batch(keys), values)
+
+    def test_contains(self, small_dataset64):
+        keys, values = small_dataset64
+        tree = FastTree(keys, values)
+        assert int(keys[0]) in tree
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            FastTree([1, 1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FastTree([], [])
+
+
+class TestBlocking:
+    def test_line_depth_64bit(self, small_dataset64):
+        keys, values = small_dataset64
+        tree = FastTree(keys, values)
+        # a 64-byte line holds a depth-3 binary subtree of 64-bit keys
+        assert tree.line_depth == 3
+
+    def test_line_depth_32bit(self, dataset32):
+        keys, values = dataset32
+        tree = FastTree(keys, values, key_bits=32)
+        assert tree.line_depth == 4
+
+    def test_lines_per_query_formula(self, dataset64):
+        keys, values = dataset64
+        tree = FastTree(keys, values)
+        assert tree.lines_per_query == math.ceil(tree.depth / 3) + 1
+
+    def test_touches_at_most_lines_per_query(self, dataset64):
+        keys, values = dataset64
+        mem = MemorySystem()
+        tree = FastTree(keys, values, mem=mem)
+        mem.reset_counters()
+        tree.lookup(int(keys[0]))
+        assert mem.counters.line_accesses <= tree.lines_per_query
+
+    def test_fewer_lines_than_binary_levels(self, dataset64):
+        """Blocking is the whole point: fewer lines than tree depth."""
+        keys, values = dataset64
+        mem = MemorySystem()
+        tree = FastTree(keys, values, mem=mem)
+        mem.reset_counters()
+        tree.lookup(int(keys[1]))
+        assert mem.counters.line_accesses < tree.depth

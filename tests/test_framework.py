@@ -1,0 +1,192 @@
+"""The generic leaf-stored hybrid framework (section 7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import (
+    CssTreeAdapter,
+    HybridFramework,
+    ImplicitHBAdapter,
+    RegularHBAdapter,
+)
+from repro.core.hbtree import HBPlusTree
+from repro.core.hbtree_implicit import ImplicitHBPlusTree
+from repro.cpu.css_tree import CssTree
+from repro.memsim.mainmem import MemorySystem
+from repro.workloads.generators import generate_dataset
+from repro.workloads.queries import make_point_queries
+
+
+@pytest.fixture(scope="module")
+def data():
+    keys, values = generate_dataset(1 << 14, seed=23)
+    sample = make_point_queries(keys, 1024)
+    return keys, values, sample
+
+
+def make_adapter(kind, keys, values, machine):
+    if kind == "implicit":
+        return ImplicitHBAdapter(
+            ImplicitHBPlusTree(keys, values, machine=machine)
+        )
+    if kind == "css":
+        return CssTreeAdapter(
+            CssTree(keys, values, mem=MemorySystem.from_spec(machine.cpu)),
+            machine,
+        )
+    return RegularHBAdapter(HBPlusTree(keys, values, machine=machine))
+
+
+ADAPTERS = ["implicit", "css", "regular"]
+
+
+class TestPlanning:
+    @pytest.mark.parametrize("kind", ADAPTERS)
+    def test_plan_produces_valid_knobs(self, data, m1, kind):
+        keys, values, sample = data
+        fw = HybridFramework(make_adapter(kind, keys, values, m1), m1,
+                             sample=sample)
+        plan = fw.plan()
+        assert plan.mode in ("cpu-only", "hybrid", "balanced")
+        assert 0 <= plan.depth <= fw.adapter.height
+        assert 0.0 <= plan.ratio <= 1.0
+        assert plan.bucket_size in (8192, 16384, 32768, 65536)
+        assert plan.predicted_qps > 0
+        assert "cpu-only" in plan.alternatives
+
+    @pytest.mark.parametrize("kind", ADAPTERS)
+    def test_strong_gpu_machine_goes_hybrid(self, data, m1, kind):
+        keys, values, sample = data
+        fw = HybridFramework(make_adapter(kind, keys, values, m1), m1,
+                             sample=sample)
+        plan = fw.plan()
+        assert plan.mode in ("hybrid", "balanced")
+        assert plan.predicted_qps > plan.alternatives["cpu-only"]
+
+    def test_weak_gpu_machine_balances_or_bails(self, data, m2):
+        keys, values, sample = data
+        fw = HybridFramework(
+            make_adapter("implicit", keys, values, m2), m2, sample=sample
+        )
+        plan = fw.plan()
+        # with a weak GPU the framework must not pick plain hybrid
+        assert plan.mode in ("balanced", "cpu-only")
+
+    def test_regular_adapter_never_balanced(self, data, m2):
+        keys, values, sample = data
+        fw = HybridFramework(
+            make_adapter("regular", keys, values, m2), m2, sample=sample
+        )
+        plan = fw.plan()
+        assert plan.mode in ("cpu-only", "hybrid")
+
+    def test_plan_requires_sample(self, data, m1):
+        keys, values, _sample = data
+        fw = HybridFramework(make_adapter("css", keys, values, m1), m1)
+        with pytest.raises(ValueError):
+            fw.plan()
+
+    def test_describe_is_readable(self, data, m1):
+        keys, values, sample = data
+        fw = HybridFramework(make_adapter("implicit", keys, values, m1),
+                             m1, sample=sample)
+        text = fw.plan().describe()
+        assert "MQPS" in text and "D=" in text
+
+
+class TestExecution:
+    @pytest.mark.parametrize("kind", ADAPTERS)
+    @pytest.mark.parametrize("machine_name", ["m1", "m2"])
+    def test_results_correct_under_any_plan(self, data, m1, m2, kind,
+                                            machine_name):
+        keys, values, sample = data
+        machine = m1 if machine_name == "m1" else m2
+        fw = HybridFramework(make_adapter(kind, keys, values, machine),
+                             machine, sample=sample)
+        fw.plan()
+        out = fw.execute(keys[:1500])
+        assert np.array_equal(out, values[:1500])
+
+    @pytest.mark.parametrize("kind", ["implicit", "css"])
+    def test_forced_balanced_mode_correct(self, data, m1, kind):
+        keys, values, sample = data
+        fw = HybridFramework(make_adapter(kind, keys, values, m1), m1,
+                             sample=sample)
+        plan = fw.plan()
+        plan.mode = "balanced"
+        plan.depth = min(2, fw.adapter.height)
+        plan.ratio = 0.5
+        out = fw.execute(keys[:800])
+        assert np.array_equal(out, values[:800])
+
+    @pytest.mark.parametrize("kind", ADAPTERS)
+    def test_forced_cpu_only_correct(self, data, m1, kind):
+        keys, values, sample = data
+        fw = HybridFramework(make_adapter(kind, keys, values, m1), m1,
+                             sample=sample)
+        plan = fw.plan()
+        plan.mode = "cpu-only"
+        out = fw.execute(keys[:800])
+        assert np.array_equal(out, values[:800])
+
+    def test_absent_keys(self, data, m1):
+        keys, values, sample = data
+        fw = HybridFramework(make_adapter("css", keys, values, m1), m1,
+                             sample=sample)
+        fw.plan()
+        probe = np.asarray([int(keys.max()) + 3], dtype=np.uint64)
+        out = fw.execute(probe)
+        assert out[0] == fw.adapter.spec.max_value
+
+    def test_execute_plans_lazily(self, data, m1):
+        keys, values, sample = data
+        fw = HybridFramework(make_adapter("implicit", keys, values, m1),
+                             m1, sample=sample)
+        out = fw.execute(keys[:100])  # no explicit plan() call
+        assert fw.plan_result is not None
+        assert np.array_equal(out, values[:100])
+
+
+class TestAdapters:
+    def test_implicit_gpu_resume_matches_full(self, data, m1):
+        keys, values, sample = data
+        adapter = make_adapter("implicit", keys, values, m1)
+        q = np.asarray(keys[:256], dtype=np.uint64)
+        full = adapter.full_search(q)
+        levels = np.full(len(q), 2, dtype=np.int64)
+        nodes = adapter.cpu_descend(q, levels)
+        refs, _txn = adapter.gpu_resume(q, levels, nodes)
+        split = adapter.cpu_finish(q, refs)
+        assert np.array_equal(full, split)
+
+    def test_css_gpu_resume_matches_full(self, data, m1):
+        keys, values, sample = data
+        adapter = make_adapter("css", keys, values, m1)
+        q = np.asarray(keys[:256], dtype=np.uint64)
+        full = adapter.full_search(q)
+        levels = np.full(len(q), 1, dtype=np.int64)
+        nodes = adapter.cpu_descend(q, levels)
+        refs, _txn = adapter.gpu_resume(q, levels, nodes)
+        assert np.array_equal(adapter.cpu_finish(q, refs), full)
+
+    def test_regular_rejects_partial_descent(self, data, m1):
+        keys, values, sample = data
+        adapter = make_adapter("regular", keys, values, m1)
+        q = np.asarray(keys[:8], dtype=np.uint64)
+        with pytest.raises(NotImplementedError):
+            adapter.gpu_resume(q, np.ones(8, dtype=np.int64),
+                               np.zeros(8, dtype=np.int64))
+
+    @pytest.mark.parametrize("kind", ADAPTERS)
+    def test_level_profiles_shape(self, data, m1, kind):
+        keys, values, sample = data
+        adapter = make_adapter(kind, keys, values, m1)
+        profiles, leaf = adapter.level_profiles(sample[:512])
+        assert len(profiles) == adapter.height
+        assert leaf.misses >= 0
+
+    @pytest.mark.parametrize("kind", ADAPTERS)
+    def test_gpu_transactions_positive(self, data, m1, kind):
+        keys, values, sample = data
+        adapter = make_adapter(kind, keys, values, m1)
+        assert adapter.gpu_transactions_per_query(sample[:512]) > 0

@@ -1,0 +1,87 @@
+"""Analytic GPU L2 model."""
+
+import pytest
+
+from repro.gpusim.l2 import (
+    effective_dram_transactions,
+    l2_speedup_estimate,
+    level_hit_rates,
+)
+
+
+class TestHitRates:
+    def test_everything_fits(self):
+        assert level_hit_rates([100, 200], 1000) == [1.0, 1.0]
+
+    def test_nothing_fits(self):
+        assert level_hit_rates([100, 200], 0) == [0.0, 0.0]
+
+    def test_top_down_occupancy(self):
+        rates = level_hit_rates([100, 200, 400], 200)
+        assert rates[0] == 1.0
+        assert rates[1] == pytest.approx(0.5)
+        assert rates[2] == 0.0
+
+    def test_empty_level(self):
+        assert level_hit_rates([0, 100], 50) == [1.0, 0.5]
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            level_hit_rates([10], -1)
+
+
+class TestEffectiveTransactions:
+    def test_split_adds_up(self):
+        dram, served = effective_dram_transactions(
+            [1.0, 1.0, 1.0], [64, 64, 64], 96
+        )
+        assert dram + served == pytest.approx(3.0)
+        assert served == pytest.approx(1.5)
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            effective_dram_transactions([1.0], [64, 64], 100)
+
+
+class TestSpeedup:
+    def test_no_l2_no_speedup(self):
+        assert l2_speedup_estimate([1, 1, 1], [64, 64, 64], 0) == 1.0
+
+    def test_full_residency_approaches_ratio(self):
+        s = l2_speedup_estimate([1, 1], [64, 64], 10**6,
+                                l2_bandwidth_ratio=4.0)
+        assert s == pytest.approx(4.0)
+
+    def test_partial_residency_between(self):
+        s = l2_speedup_estimate([1, 1, 1, 1], [64, 512, 4096, 32768],
+                                1024)
+        assert 1.0 < s < 4.0
+
+    def test_monotone_in_capacity(self):
+        levels = [64, 512, 4096, 32768]
+        tx = [1.0] * 4
+        speedups = [l2_speedup_estimate(tx, levels, c)
+                    for c in (0, 512, 4096, 40000)]
+        assert speedups == sorted(speedups)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            l2_speedup_estimate([1], [64], 64, l2_bandwidth_ratio=0)
+
+    def test_zero_traffic(self):
+        assert l2_speedup_estimate([], [], 100) == 1.0
+
+
+class TestRealisticTree:
+    def test_gtx780_on_scaled_tree(self, m1):
+        """A 1.5MB (scaled) L2 over a 2^18-key implicit I-segment:
+        modest but real speedup from the hot top levels."""
+        from repro.core.hbtree_implicit import ImplicitHBPlusTree
+        from repro.workloads.generators import generate_dataset
+        keys, values = generate_dataset(1 << 15, seed=97)
+        tree = ImplicitHBPlusTree(keys, values, machine=m1)
+        level_bytes = [s * 8 for s in tree.level_sizes]
+        tx = [1.0] * tree.gpu_depth  # ~one line per level per query
+        l2 = int(1.5 * 1024 * 1024) // 64  # scaled like the other caps
+        s = l2_speedup_estimate(tx, level_bytes, l2)
+        assert 1.05 < s < 4.0

@@ -1,0 +1,282 @@
+"""GPU simulator: device memory, coalescing, transfers, SIMT core."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import GpuDevice
+from repro.gpusim.memory import DeviceMemory, coalesce
+from repro.gpusim.simt import KernelLaunch, SharedMemory
+from repro.gpusim.transfer import PcieLink
+from repro.platform.configs import PcieSpec
+
+
+class TestCoalesce:
+    def test_single_8byte_access_is_one_32b_txn(self):
+        txns = coalesce([(0, 8)])
+        assert txns == [(0, 32)]
+
+    def test_full_warp_contiguous_64_bytes(self):
+        # 8 lanes x 8 bytes, contiguous and aligned -> one 64B txn
+        ranges = [(i * 8, 8) for i in range(8)]
+        txns = coalesce(ranges)
+        assert txns == [(0, 64)]
+
+    def test_contiguous_128_bytes(self):
+        ranges = [(i * 8, 8) for i in range(16)]
+        txns = coalesce(ranges)
+        assert txns == [(0, 128)]
+
+    def test_scattered_accesses_one_txn_each(self):
+        ranges = [(0, 8), (1024, 8), (4096, 8)]
+        txns = coalesce(ranges)
+        assert len(txns) == 3
+        assert all(size == 32 for _s, size in txns)
+
+    def test_worst_case_32_separate_transactions(self):
+        # the paper: "in the worst case, each access is translated into
+        # 32 separate memory transactions"
+        ranges = [(i * 256, 8) for i in range(32)]
+        assert len(coalesce(ranges)) == 32
+
+    def test_covering_invariant(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            ranges = [
+                (int(o), int(s)) for o, s in zip(
+                    rng.integers(0, 4096, 8), rng.integers(1, 64, 8)
+                )
+            ]
+            txns = coalesce(ranges)
+            covered = set()
+            for start, size in txns:
+                assert start % size == 0, "transactions must be aligned"
+                covered.update(range(start, start + size))
+            for start, length in ranges:
+                assert all(b in covered for b in range(start, start + length))
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce([(0, 0)])
+
+
+class TestDeviceMemory:
+    def test_alloc_and_get(self):
+        mem = DeviceMemory(1 << 20)
+        buf = mem.alloc("a", (16,), np.uint64)
+        assert mem.get("a") is buf
+        assert buf.nbytes == 128
+
+    def test_capacity_enforced(self):
+        mem = DeviceMemory(1024)
+        with pytest.raises(MemoryError):
+            mem.alloc("big", (1024,), np.uint64)
+
+    def test_capacity_wall_is_the_papers_motivation(self, m1):
+        """A GPU-resident tree beyond device memory must fail — the
+        limitation HB+-tree exists to avoid."""
+        mem = DeviceMemory(m1.gpu.device_mem_bytes)
+        elems = m1.gpu.device_mem_bytes // 8 + 1
+        with pytest.raises(MemoryError):
+            mem.alloc("tree", (elems,), np.uint64)
+
+    def test_upload_replaces(self):
+        mem = DeviceMemory(1 << 20)
+        mem.upload("a", np.arange(4, dtype=np.uint64))
+        mem.upload("a", np.arange(8, dtype=np.uint64))
+        assert mem.get("a").array.size == 8
+
+    def test_upload_copies(self):
+        mem = DeviceMemory(1 << 20)
+        host = np.arange(4, dtype=np.uint64)
+        mem.upload("a", host)
+        host[0] = 99
+        assert mem.get("a").array[0] == 0
+
+    def test_free(self):
+        mem = DeviceMemory(1 << 20)
+        mem.alloc("a", (4,), np.uint64)
+        mem.free("a")
+        assert "a" not in mem
+        with pytest.raises(KeyError):
+            mem.free("a")
+
+    def test_used_and_free_bytes(self):
+        mem = DeviceMemory(1024)
+        mem.alloc("a", (16,), np.uint64)
+        assert mem.used_bytes == 128
+        assert mem.free_bytes == 896
+
+    def test_warp_access_counters(self):
+        mem = DeviceMemory(1 << 20)
+        n = mem.warp_access([(i * 8, 8) for i in range(8)])
+        assert n == 1
+        assert mem.counters.transactions_64 == 1
+        assert mem.counters.bytes_moved == 64
+        assert mem.counters.warp_accesses == 1
+
+
+class TestPcieLink:
+    def test_transfer_time_model(self):
+        link = PcieLink(PcieSpec("x", bandwidth_gbs=10.0, t_init_ns=1000.0))
+        # T = T_init + bytes / (bytes per ns)
+        assert link.time_ns(10_000) == pytest.approx(1000.0 + 1000.0)
+
+    def test_to_device_and_back(self):
+        link = PcieLink(PcieSpec("x", bandwidth_gbs=10.0, t_init_ns=100.0))
+        mem = DeviceMemory(1 << 20)
+        host = np.arange(16, dtype=np.uint64)
+        t = link.to_device(mem, "buf", host)
+        assert t > 100.0
+        got, t2 = link.to_host(mem.get("buf"))
+        assert np.array_equal(got, host)
+        assert link.stats.transfers == 2
+        assert link.stats.bytes_to_device == host.nbytes
+        assert link.stats.bytes_to_host == host.nbytes
+
+    def test_partial_update(self):
+        link = PcieLink(PcieSpec("x", bandwidth_gbs=10.0, t_init_ns=100.0))
+        mem = DeviceMemory(1 << 20)
+        link.to_device(mem, "buf", np.zeros(16, dtype=np.uint64))
+        link.update_device(mem, "buf", np.asarray([7, 8], dtype=np.uint64),
+                           offset_elems=4)
+        arr = mem.get("buf").array
+        assert arr[4] == 7 and arr[5] == 8 and arr[3] == 0
+
+    def test_partial_update_bounds(self):
+        link = PcieLink(PcieSpec("x", bandwidth_gbs=10.0, t_init_ns=100.0))
+        mem = DeviceMemory(1 << 20)
+        link.to_device(mem, "buf", np.zeros(4, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            link.update_device(mem, "buf", np.zeros(2, dtype=np.uint64),
+                               offset_elems=3)
+
+    def test_negative_size_rejected(self):
+        link = PcieLink(PcieSpec("x", bandwidth_gbs=10.0, t_init_ns=100.0))
+        with pytest.raises(ValueError):
+            link.time_ns(-1)
+
+
+class TestSharedMemory:
+    def test_store_load(self):
+        sh = SharedMemory()
+        sh.declare("f", (8,), np.int64)
+        sh.store("f", 3, 7)
+        assert sh.load("f", 3) == 7
+
+    def test_no_conflict_distinct_banks(self):
+        sh = SharedMemory(banks=32)
+        sh.declare("f", (64,), np.int32)
+        accesses = [("f", i) for i in range(32)]
+        assert sh.conflict_degree(accesses) == 0
+
+    def test_conflict_same_bank_distinct_words(self):
+        sh = SharedMemory(banks=32)
+        sh.declare("f", (128,), np.int32)
+        accesses = [("f", 0), ("f", 32), ("f", 64)]  # all bank 0
+        assert sh.conflict_degree(accesses) == 2
+
+    def test_broadcast_same_word_no_conflict(self):
+        sh = SharedMemory(banks=32)
+        sh.declare("f", (8,), np.int32)
+        accesses = [("f", 5)] * 10
+        assert sh.conflict_degree(accesses) == 0
+
+
+def _vector_add_kernel(ctx, a, b, out):
+    i = ctx.block_idx * ctx.block_dim[0] + ctx.thread_idx[0]
+    x = yield ("gld", a, i)
+    y = yield ("gld", b, i)
+    yield ("gst", out, i, x + y)
+
+
+def _barrier_kernel(ctx, out):
+    """Each thread writes, syncs, then reads its neighbour's value."""
+    tid = ctx.thread_idx[0]
+    n = ctx.block_dim[0]
+    yield ("shst", "buf", tid, tid * 10)
+    yield ("sync",)
+    neighbour = yield ("shld", "buf", (tid + 1) % n)
+    yield ("gst", out, ctx.block_idx * n + tid, neighbour)
+
+
+def _divergent_kernel(ctx, out):
+    tid = ctx.thread_idx[0]
+    if tid % 2 == 0:
+        v = yield ("gld", out, tid)
+        yield ("gst", out, tid, v + 1)
+    else:
+        yield ("shst", "pad", 0, 1)
+    yield ("sync",)
+
+
+class TestSimtInterpreter:
+    def test_vector_add(self):
+        mem = DeviceMemory(1 << 20)
+        a = mem.upload("a", np.arange(64, dtype=np.int64))
+        b = mem.upload("b", np.arange(64, dtype=np.int64) * 2)
+        out = mem.upload("out", np.zeros(64, dtype=np.int64))
+        launch = KernelLaunch(mem, _vector_add_kernel, grid_dim=2,
+                              block_dim=(32, 1))
+        stats = launch.run(a, b, out)
+        assert np.array_equal(out.array, np.arange(64) * 3)
+        assert stats.threads == 64
+        assert stats.global_transactions > 0
+
+    def test_barrier_semantics(self):
+        mem = DeviceMemory(1 << 20)
+        out = mem.upload("out", np.zeros(8, dtype=np.int64))
+        launch = KernelLaunch(
+            mem, _barrier_kernel, grid_dim=1, block_dim=(8, 1),
+            shared_decls={"buf": ((8,), np.int64)},
+        )
+        stats = launch.run(out)
+        assert out.array.tolist() == [10, 20, 30, 40, 50, 60, 70, 0]
+        assert stats.barriers >= 1
+
+    def test_divergence_detected(self):
+        mem = DeviceMemory(1 << 20)
+        out = mem.upload("out", np.zeros(32, dtype=np.int64))
+        launch = KernelLaunch(
+            mem, _divergent_kernel, grid_dim=1, block_dim=(32, 1),
+            shared_decls={"pad": ((1,), np.int64)},
+        )
+        stats = launch.run(out)
+        assert stats.divergent_rounds > 0
+
+    def test_coalesced_warp_load_single_txn(self):
+        mem = DeviceMemory(1 << 20)
+        a = mem.upload("a", np.arange(32, dtype=np.int32))
+        b = mem.upload("b", np.arange(32, dtype=np.int32))
+        out = mem.upload("out", np.zeros(32, dtype=np.int32))
+        launch = KernelLaunch(mem, _vector_add_kernel, grid_dim=1,
+                              block_dim=(32, 1))
+        launch.run(a, b, out)
+        # 32 lanes x 4 bytes = 128 contiguous bytes = 1 txn per load
+        assert mem.counters.transactions_128 >= 2
+
+    def test_invalid_dims_rejected(self):
+        mem = DeviceMemory(1 << 20)
+        with pytest.raises(ValueError):
+            KernelLaunch(mem, _vector_add_kernel, 0, (32, 1))
+
+
+class TestGpuDevice:
+    def test_concurrent_queries(self, m1):
+        dev = GpuDevice(m1.gpu)
+        # GPU_Threads / T (section 5.3)
+        assert dev.concurrent_queries(8) == m1.gpu.max_resident_threads // 8
+
+    def test_concurrent_queries_validates(self, m1):
+        dev = GpuDevice(m1.gpu)
+        with pytest.raises(ValueError):
+            dev.concurrent_queries(0)
+
+    def test_launch_accumulates(self, m1):
+        dev = GpuDevice(m1.gpu)
+        a = dev.memory.upload("a", np.arange(32, dtype=np.int64))
+        b = dev.memory.upload("b", np.arange(32, dtype=np.int64))
+        out = dev.memory.upload("out", np.zeros(32, dtype=np.int64))
+        dev.launch(_vector_add_kernel, 1, (32, 1), a, b, out)
+        assert dev.kernel_launches == 1
+        dev.reset_counters()
+        assert dev.kernel_launches == 0

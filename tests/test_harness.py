@@ -1,0 +1,70 @@
+"""Experiment-table infrastructure."""
+
+import pytest
+
+from repro.bench.harness import ExperimentTable, geometric_mean
+
+
+class TestExperimentTable:
+    def make(self):
+        t = ExperimentTable("exp", "desc")
+        t.add(n=1, mqps=10.0)
+        t.add(n=2, mqps=20.0)
+        return t
+
+    def test_columns_in_insertion_order(self):
+        t = self.make()
+        t.add(n=3, mqps=5.0, extra="x")
+        assert t.columns() == ["n", "mqps", "extra"]
+
+    def test_column_values(self):
+        t = self.make()
+        assert t.column("mqps") == [10.0, 20.0]
+
+    def test_select(self):
+        t = self.make()
+        assert t.select(n=2) == [{"n": 2, "mqps": 20.0}]
+        assert t.select(n=99) == []
+
+    def test_value(self):
+        t = self.make()
+        assert t.value("mqps", n=1) == 10.0
+
+    def test_value_requires_unique_match(self):
+        t = self.make()
+        t.add(n=1, mqps=11.0)
+        with pytest.raises(KeyError):
+            t.value("mqps", n=1)
+
+    def test_format_contains_rows_and_notes(self):
+        t = self.make()
+        t.note("hello note")
+        text = t.format()
+        assert "exp" in text
+        assert "10.00" in text
+        assert "hello note" in text
+
+    def test_format_empty(self):
+        t = ExperimentTable("e", "d")
+        assert "no rows" in t.format()
+
+    def test_missing_cells_render_blank(self):
+        t = ExperimentTable("e", "d")
+        t.add(a=1)
+        t.add(b=2)
+        text = t.format()
+        assert "a" in text and "b" in text
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([4.0, 0.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0

@@ -1,0 +1,77 @@
+"""Key-type constants (section 4.1 / 5.2 fanout table)."""
+
+import numpy as np
+import pytest
+
+from repro.keys import KEY32, KEY64, key_spec
+
+
+class TestKeySpec64:
+    def test_size_bytes(self):
+        assert KEY64.size_bytes == 8
+
+    def test_max_value_is_sentinel(self):
+        assert KEY64.max_value == 2**64 - 1
+
+    def test_keys_per_line(self):
+        assert KEY64.keys_per_line == 8
+
+    def test_leaf_pairs_per_line_is_p_l(self):
+        # P_L = 4 for 64-bit keys (section 4.1)
+        assert KEY64.leaf_pairs_per_line == 4
+
+    def test_implicit_cpu_fanout(self):
+        assert KEY64.implicit_cpu_fanout == 9
+
+    def test_implicit_hybrid_fanout(self):
+        assert KEY64.implicit_hybrid_fanout == 8
+
+    def test_regular_fanout(self):
+        assert KEY64.regular_fanout == 64
+
+    def test_gpu_threads_per_query(self):
+        # T = 8 for the 64-bit implementation (section 5.3)
+        assert KEY64.gpu_threads_per_query == 8
+
+    def test_dtype(self):
+        assert KEY64.dtype is np.uint64
+
+
+class TestKeySpec32:
+    def test_keys_per_line(self):
+        assert KEY32.keys_per_line == 16
+
+    def test_leaf_pairs_per_line(self):
+        # capacity of each leaf cache line increases to 8 (section 4.1)
+        assert KEY32.leaf_pairs_per_line == 8
+
+    def test_implicit_cpu_fanout(self):
+        assert KEY32.implicit_cpu_fanout == 17
+
+    def test_implicit_hybrid_fanout(self):
+        assert KEY32.implicit_hybrid_fanout == 16
+
+    def test_regular_fanout(self):
+        assert KEY32.regular_fanout == 256
+
+    def test_gpu_threads_per_query(self):
+        assert KEY32.gpu_threads_per_query == 16
+
+    def test_max_value(self):
+        assert KEY32.max_value == 2**32 - 1
+
+
+class TestKeySpecLookup:
+    def test_key_spec_64(self):
+        assert key_spec(64) is KEY64
+
+    def test_key_spec_32(self):
+        assert key_spec(32) is KEY32
+
+    def test_key_spec_rejects_other_widths(self):
+        with pytest.raises(ValueError):
+            key_spec(16)
+
+    def test_as_key_array_dtype(self):
+        arr = KEY64.as_key_array([1, 2, 3])
+        assert arr.dtype == np.uint64

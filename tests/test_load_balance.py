@@ -1,0 +1,144 @@
+"""Load balancing scheme (section 5.5, Algorithm 1, Fig 18)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hbtree_implicit import ImplicitHBPlusTree
+from repro.core.load_balance import LoadBalancer
+from repro.workloads.generators import generate_dataset
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_dataset(4096, seed=17)
+
+
+@pytest.fixture()
+def balancer_m2(data, m2):
+    keys, values = data
+    tree = ImplicitHBPlusTree(keys, values, machine=m2)
+    return LoadBalancer(tree)
+
+
+class TestPerLevelCosts:
+    def test_profiles_measured_per_level(self, balancer_m2):
+        h = balancer_m2.tree.cpu_tree.height
+        assert len(balancer_m2.cpu_level_ns) == h
+        assert len(balancer_m2.gpu_level_ns) == h
+        assert all(c > 0 for c in balancer_m2.cpu_level_ns)
+        assert all(g > 0 for g in balancer_m2.gpu_level_ns)
+
+    def test_top_levels_cheaper_on_cpu(self, balancer_m2):
+        """Root and top levels are cache resident -> cheap; bottom
+        levels miss (the rationale for giving the *top* to the CPU)."""
+        costs = balancer_m2.cpu_level_ns
+        assert costs[0] <= costs[-1]
+
+    def test_leaf_cost_positive(self, balancer_m2):
+        assert balancer_m2.leaf_ns > 0
+
+
+class TestEquation4:
+    def test_all_gpu_extreme(self, balancer_m2):
+        # Equation 4 as printed: at D=0, R fraction of level-D work is
+        # on the CPU, so R=0 is the true all-GPU extreme (leaf only)
+        time_gpu, time_cpu = balancer_m2.sample_times(0, 0.0)
+        assert time_gpu > 0
+        expected_cpu = (
+            16384 * balancer_m2.leaf_ns / balancer_m2.cpu_model.threads
+        )
+        assert time_cpu == pytest.approx(expected_cpu, rel=0.01)
+
+    def test_deeper_split_shifts_work_to_cpu(self, balancer_m2):
+        g0, c0 = balancer_m2.sample_times(0, 1.0)
+        g2, c2 = balancer_m2.sample_times(2, 1.0)
+        assert g2 < g0
+        assert c2 > c0
+
+    def test_ratio_interpolates(self, balancer_m2):
+        g_lo, c_lo = balancer_m2.sample_times(1, 0.0)
+        g_mid, c_mid = balancer_m2.sample_times(1, 0.5)
+        g_hi, c_hi = balancer_m2.sample_times(1, 1.0)
+        assert c_lo <= c_mid <= c_hi
+        assert g_hi <= g_mid <= g_lo
+
+    def test_balanced_cost_is_max(self, balancer_m2):
+        g, c = balancer_m2.sample_times(1, 0.5)
+        assert balancer_m2.balanced_cost_ns(1, 0.5) == max(g, c)
+
+
+class TestDiscovery:
+    def test_discovery_runs_algorithm1(self, balancer_m2):
+        result = balancer_m2.discover()
+        assert 0 <= result.depth <= balancer_m2.tree.cpu_tree.height
+        assert 0.0 <= result.ratio <= 1.0
+        # linear phase + exactly 4 binary-search steps
+        assert result.sample_count >= 5
+
+    def test_discovered_point_near_optimum(self, balancer_m2):
+        """The discovered (D, R) should be within 15% of the exhaustive
+        best over a dense grid."""
+        result = balancer_m2.discover()
+        found = balancer_m2.balanced_cost_ns(result.depth, result.ratio)
+        h = balancer_m2.tree.cpu_tree.height
+        best = min(
+            balancer_m2.balanced_cost_ns(d, r / 16)
+            for d in range(h + 1)
+            for r in range(17)
+        )
+        assert found <= best * 1.15
+
+    def test_discovery_on_gpu_strong_machine_keeps_gpu_loaded(self, data, m1):
+        """On M1 (strong GPU) the discovery should park most work on
+        the GPU (small D)."""
+        keys, values = data
+        tree = ImplicitHBPlusTree(keys, values, machine=m1)
+        balancer = LoadBalancer(tree)
+        result = balancer.discover()
+        assert result.depth <= 2
+
+
+class TestBalancedLookup:
+    def test_results_match_plain_hybrid(self, balancer_m2, data):
+        keys, values = data
+        balancer_m2.discover()
+        out = balancer_m2.lookup_batch(keys[:1024])
+        assert np.array_equal(out, values[:1024])
+
+    def test_results_for_various_splits(self, balancer_m2, data):
+        keys, values = data
+        h = balancer_m2.tree.cpu_tree.height
+        for depth in range(h + 1):
+            for ratio in (0.0, 0.3, 1.0):
+                balancer_m2.depth = depth
+                balancer_m2.ratio = ratio
+                out = balancer_m2.lookup_batch(keys[:256])
+                assert np.array_equal(out, values[:256]), (depth, ratio)
+
+    def test_absent_keys(self, balancer_m2, data):
+        keys, _values = data
+        balancer_m2.discover()
+        probe = np.asarray([int(keys.max()) + 9], dtype=np.uint64)
+        out = balancer_m2.lookup_batch(probe)
+        assert out[0] == balancer_m2.tree.spec.max_value
+
+    def test_bucket_costs_reflect_split(self, balancer_m2):
+        balancer_m2.discover()
+        costs = balancer_m2.bucket_costs()
+        g, c = balancer_m2.sample_times(
+            balancer_m2.depth, balancer_m2.ratio
+        )
+        assert costs.t2 == pytest.approx(g)
+        assert costs.t4 == pytest.approx(c)
+
+
+class TestFig18Shape:
+    def test_balancing_helps_on_weak_gpu(self, balancer_m2):
+        """Section 6.5: on M2 the balanced split beats the all-GPU
+        split."""
+        plain = balancer_m2.balanced_cost_ns(0, 1.0)
+        balancer_m2.discover()
+        balanced = balancer_m2.balanced_cost_ns(
+            balancer_m2.depth, balancer_m2.ratio
+        )
+        assert balanced < plain

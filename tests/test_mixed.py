@@ -1,0 +1,99 @@
+"""Concurrent search/update engine (appendix B.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hbtree import HBPlusTree
+from repro.core.mixed import ConcurrentQueryEngine
+from repro.workloads.generators import generate_dataset
+from repro.workloads.queries import make_update_mix
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_dataset(1 << 13, seed=71)
+
+
+@pytest.fixture()
+def tree(data, m1):
+    keys, values = data
+    return HBPlusTree(keys, values, machine=m1, fill=0.7)
+
+
+class TestFunctional:
+    def test_searches_resolve(self, tree, data):
+        keys, _values = data
+        mix = make_update_mix(keys, 800, 0.2)
+        res = ConcurrentQueryEngine(tree).run(mix)
+        assert len(res.search_results) == len(mix.search_keys)
+        assert np.all(res.search_results != tree.spec.max_value)
+
+    def test_updates_apply(self, tree, data):
+        keys, _values = data
+        mix = make_update_mix(keys, 800, 0.5)
+        ConcurrentQueryEngine(tree).run(mix)
+        tree.cpu_tree.check_invariants()
+        out = tree.lookup_batch(mix.update_keys)
+        assert np.array_equal(out, mix.update_values)
+
+    def test_mirror_consistent_after_run(self, tree, data):
+        keys, _values = data
+        mix = make_update_mix(keys, 600, 0.4)
+        ConcurrentQueryEngine(tree).run(mix)
+        probe = mix.update_keys[:32]
+        literal = tree.gpu_search_bucket_literal(probe)
+        vector = tree.gpu_search_bucket(probe).codes
+        assert np.array_equal(literal, vector)
+
+    def test_pure_search_mix(self, tree, data):
+        keys, _values = data
+        mix = make_update_mix(keys, 400, 0.0)
+        res = ConcurrentQueryEngine(tree).run(mix)
+        assert res.schedule.per_tag_count.get("update", 0) == 0
+        assert res.sync_transfer_ns == 0.0
+
+    def test_invalid_method(self, tree, data):
+        keys, _values = data
+        mix = make_update_mix(keys, 10, 0.5)
+        with pytest.raises(ValueError):
+            ConcurrentQueryEngine(tree).run(mix, "eager")
+
+
+class TestTemporal:
+    def test_throughput_decreases_with_update_ratio(self, data, m1):
+        keys, values = data
+        throughputs = []
+        for ratio in (0.0, 0.5, 1.0):
+            t = HBPlusTree(keys, values, machine=m1, fill=0.7)
+            mix = make_update_mix(keys, 1000, ratio)
+            res = ConcurrentQueryEngine(t).run(mix)
+            throughputs.append(res.throughput_ops)
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    def test_sync_slower_than_async_with_updates(self, data, m1):
+        keys, values = data
+        mix = make_update_mix(keys, 1000, 0.5)
+        t = HBPlusTree(keys, values, machine=m1, fill=0.7)
+        res_async = ConcurrentQueryEngine(t).run(mix, "async")
+        t = HBPlusTree(keys, values, machine=m1, fill=0.7)
+        res_sync = ConcurrentQueryEngine(t).run(mix, "sync")
+        assert res_sync.throughput_ops < res_async.throughput_ops
+
+    def test_contention_grows_with_update_share(self, data, m1):
+        keys, values = data
+        rates = []
+        for ratio in (0.1, 0.9):
+            t = HBPlusTree(keys, values, machine=m1, fill=0.7)
+            mix = make_update_mix(keys, 1500, ratio)
+            res = ConcurrentQueryEngine(t).run(mix)
+            rates.append(res.schedule.lock_stats.contention_rate)
+        assert rates[1] >= rates[0]
+
+    def test_more_threads_higher_throughput(self, data, m1):
+        keys, values = data
+        mix = make_update_mix(keys, 1000, 0.25)
+        t1 = HBPlusTree(keys, values, machine=m1, fill=0.7)
+        r1 = ConcurrentQueryEngine(t1, threads=1).run(mix)
+        t2 = HBPlusTree(keys, values, machine=m1, fill=0.7)
+        r8 = ConcurrentQueryEngine(t2, threads=8).run(mix)
+        assert r8.throughput_ops > 3 * r1.throughput_ops

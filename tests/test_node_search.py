@@ -1,0 +1,157 @@
+"""Node-search algorithms: all must agree with the reference semantics.
+
+The contract (section 5.3): return the number of keys strictly smaller
+than the query == the minimum i with ``query <= node[i]``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu.node_search import (
+    COMPUTE_CYCLES,
+    NodeSearchAlgorithm,
+    get_search_function,
+    hierarchical_simd_search,
+    linear_simd_search,
+    search_leaf_line,
+    sequential_search,
+)
+from repro.keys import KEY32, KEY64
+from repro.memsim.metrics import AccessCounters
+
+ALGOS = [sequential_search, linear_simd_search, hierarchical_simd_search]
+
+
+def reference(keys, query):
+    return int(sum(1 for k in keys if int(k) < query))
+
+
+def make_node64(rng, filled=8):
+    keys = sorted(rng.choice(2**60, size=filled, replace=False).tolist())
+    keys += [KEY64.max_value] * (8 - filled)
+    return keys
+
+
+def make_node32(rng, filled=16):
+    keys = sorted(rng.choice(2**30, size=filled, replace=False).tolist())
+    keys += [KEY32.max_value] * (16 - filled)
+    return keys
+
+
+class TestAgreement64:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_random_nodes_random_queries(self, algo):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            node = make_node64(rng)
+            for query in rng.choice(2**61, size=8).tolist():
+                assert algo(node, query) == reference(node, query)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_exact_key_hits(self, algo):
+        rng = np.random.default_rng(2)
+        node = make_node64(rng)
+        for i, key in enumerate(node):
+            assert algo(node, int(key)) == i
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_query_below_all(self, algo):
+        node = [10, 20, 30, 40, 50, 60, 70, 80]
+        assert algo(node, 1) == 0
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_query_above_all(self, algo):
+        node = [10, 20, 30, 40, 50, 60, 70, 80]
+        assert algo(node, 99) == 8
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_padded_node_routes_to_first_sentinel(self, algo):
+        rng = np.random.default_rng(3)
+        node = make_node64(rng, filled=3)
+        huge = int(node[2]) + 1
+        assert algo(node, huge) == 3
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_boundary_positions_hierarchical_parts(self, algo):
+        """Queries straddling node[2] and node[5] (the hierarchical
+        algorithm's part boundaries) must still agree."""
+        node = [10, 20, 30, 40, 50, 60, 70, 80]
+        for q in (29, 30, 31, 59, 60, 61):
+            assert algo(node, q) == reference(node, q)
+
+
+class TestAgreement32:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_random_nodes(self, algo):
+        rng = np.random.default_rng(4)
+        for _ in range(30):
+            node = make_node32(rng)
+            for query in rng.choice(2**31, size=6).tolist():
+                assert algo(node, query) == reference(node, query)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_above_all_returns_16(self, algo):
+        node = list(range(1, 17))
+        assert algo(node, 100) == 16
+
+
+class TestLeafSearch:
+    def test_agreement_on_leaf_lines(self):
+        rng = np.random.default_rng(5)
+        for algo in NodeSearchAlgorithm:
+            for filled in (1, 2, 4):
+                keys = sorted(rng.choice(1000, size=filled,
+                                         replace=False).tolist())
+                keys += [KEY64.max_value] * (4 - filled)
+                for q in rng.choice(1100, size=8).tolist():
+                    got = search_leaf_line(keys, q, algorithm=algo)
+                    assert got == reference(keys, q)
+
+    def test_counters_record_work(self):
+        counters = AccessCounters()
+        search_leaf_line([1, 2, 3, 4], 3, counters)
+        assert counters.key_comparisons == 4
+        assert counters.simd_ops > 0
+
+
+class TestCounters:
+    def test_sequential_counts_only_inspected_keys(self):
+        counters = AccessCounters()
+        node = [10, 20, 30, 40, 50, 60, 70, 80]
+        sequential_search(node, 25, counters)
+        # scans 10, 20, 30 then stops
+        assert counters.key_comparisons == 3
+
+    def test_linear_counts_all_keys_and_simd_ops(self):
+        counters = AccessCounters()
+        node = [10, 20, 30, 40, 50, 60, 70, 80]
+        linear_simd_search(node, 25, counters)
+        assert counters.key_comparisons == 8
+        assert counters.simd_ops == 8
+
+    def test_hierarchical_uses_fewer_ops_than_linear(self):
+        c_lin, c_hier = AccessCounters(), AccessCounters()
+        node = [10, 20, 30, 40, 50, 60, 70, 80]
+        linear_simd_search(node, 45, c_lin)
+        hierarchical_simd_search(node, 45, c_hier)
+        assert c_hier.simd_ops < c_lin.simd_ops
+        assert c_hier.key_comparisons < c_lin.key_comparisons
+
+
+class TestDispatchAndCosts:
+    def test_get_search_function_roundtrip(self):
+        for algo in NodeSearchAlgorithm:
+            fn = get_search_function(algo)
+            assert callable(fn)
+
+    def test_compute_cycles_ordering(self):
+        # hierarchical < linear < sequential (Fig 8's finding)
+        assert (COMPUTE_CYCLES[NodeSearchAlgorithm.HIERARCHICAL_SIMD]
+                < COMPUTE_CYCLES[NodeSearchAlgorithm.LINEAR_SIMD]
+                < COMPUTE_CYCLES[NodeSearchAlgorithm.SEQUENTIAL])
+
+    def test_wrong_node_size_rejected(self):
+        with pytest.raises(ValueError):
+            linear_simd_search([1, 2, 3], 2)
+        with pytest.raises(ValueError):
+            hierarchical_simd_search(list(range(12)), 2)

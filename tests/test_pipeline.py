@@ -1,0 +1,170 @@
+"""Bucket scheduling strategies (section 5.4, Figs 5-6, 10)."""
+
+import pytest
+
+from repro.core.buckets import iter_buckets, num_buckets
+from repro.core.pipeline import (
+    BucketStrategy,
+    PipelineSimulator,
+    strategy_latency_ns,
+    strategy_throughput_qps,
+)
+from repro.platform.costmodel import BucketCosts
+
+import numpy as np
+
+# a bucket-cost shape typical for M1 (T2 ~ T4, transfers smaller)
+COSTS = BucketCosts(t1=20e3, t2=60e3, t3=20e3, t4=55e3)
+
+
+class TestBuckets:
+    def test_num_buckets(self):
+        assert num_buckets(16384, 16384) == 1
+        assert num_buckets(16385, 16384) == 2
+        assert num_buckets(0, 16384) == 0
+
+    def test_iter_buckets_partition(self):
+        q = np.arange(100)
+        chunks = list(iter_buckets(q, 32))
+        assert [len(c) for c in chunks] == [32, 32, 32, 4]
+        assert np.array_equal(np.concatenate(chunks), q)
+
+    def test_invalid_bucket_size(self):
+        with pytest.raises(ValueError):
+            num_buckets(10, 0)
+        with pytest.raises(ValueError):
+            list(iter_buckets([1], -1))
+
+
+class TestClosedForms:
+    def test_sequential_is_sum(self):
+        assert COSTS.sequential == pytest.approx(155e3)
+
+    def test_pipelined_formula(self):
+        # T_P = T1 + max(T2 + T3, T4)
+        assert COSTS.pipelined == pytest.approx(20e3 + 80e3)
+
+    def test_double_buffered_formula(self):
+        assert COSTS.double_buffered == pytest.approx(60e3)
+
+    def test_latency_formulas(self):
+        # section 5.4's latency expressions
+        assert COSTS.latency_ns("sequential") == pytest.approx(155e3)
+        assert COSTS.latency_ns("pipelined") == pytest.approx(
+            20e3 + 60e3 + 20e3 + 55e3 / 2
+        )
+        assert COSTS.latency_ns("double_buffered") == pytest.approx(
+            2 * 60e3 + 55e3 / 2 + 40e3
+        )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            COSTS.latency_ns("bogus")
+        with pytest.raises(ValueError):
+            COSTS.throughput_qps("bogus", 16384)
+
+
+class TestEventSimulator:
+    def test_strategy_throughput_ordering(self):
+        seq = strategy_throughput_qps(COSTS, BucketStrategy.SEQUENTIAL, 16384)
+        pipe = strategy_throughput_qps(COSTS, BucketStrategy.PIPELINED, 16384)
+        db = strategy_throughput_qps(
+            COSTS, BucketStrategy.DOUBLE_BUFFERED, 16384
+        )
+        assert seq < pipe < db
+
+    def test_sequential_matches_closed_form(self):
+        qps = strategy_throughput_qps(COSTS, BucketStrategy.SEQUENTIAL, 16384)
+        assert qps == pytest.approx(16384 * 1e9 / COSTS.sequential, rel=0.01)
+
+    def test_pipelined_near_closed_form(self):
+        qps = strategy_throughput_qps(COSTS, BucketStrategy.PIPELINED, 16384)
+        assert qps == pytest.approx(16384 * 1e9 / COSTS.pipelined, rel=0.05)
+
+    def test_double_buffered_reaches_max_t2_t4(self):
+        qps = strategy_throughput_qps(
+            COSTS, BucketStrategy.DOUBLE_BUFFERED, 16384
+        )
+        assert qps == pytest.approx(
+            16384 * 1e9 / COSTS.double_buffered, rel=0.05
+        )
+
+    def test_latency_ordering(self):
+        lat_seq = strategy_latency_ns(COSTS, BucketStrategy.SEQUENTIAL, 16384)
+        lat_db = strategy_latency_ns(
+            COSTS, BucketStrategy.DOUBLE_BUFFERED, 16384
+        )
+        # overlap buys throughput at the cost of per-query latency
+        assert lat_db > lat_seq
+
+    def test_timeline_monotone(self):
+        run = PipelineSimulator(
+            COSTS, BucketStrategy.DOUBLE_BUFFERED, 16384
+        ).run(16)
+        for t in run.timelines:
+            assert t.t1_start <= t.t1_end <= t.t2_end <= t.t3_end <= t.t4_end
+        completions = [t.completion for t in run.timelines]
+        assert completions == sorted(completions)
+
+    def test_gpu_never_overlaps_itself(self):
+        run = PipelineSimulator(
+            COSTS, BucketStrategy.DOUBLE_BUFFERED, 16384
+        ).run(16)
+        for a, b in zip(run.timelines, run.timelines[1:]):
+            # bucket b's T2 starts after bucket a's T2 finished
+            assert b.t2_end - COSTS.t2 >= a.t2_end - 1e-6
+
+    def test_single_bucket(self):
+        run = PipelineSimulator(COSTS, BucketStrategy.PIPELINED, 16384).run(1)
+        assert run.makespan_ns == pytest.approx(COSTS.sequential)
+
+    def test_throughput_property(self):
+        run = PipelineSimulator(
+            COSTS, BucketStrategy.SEQUENTIAL, 16384
+        ).run(8)
+        assert run.throughput_qps == pytest.approx(
+            8 * 16384 * 1e9 / run.makespan_ns
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            PipelineSimulator(COSTS, BucketStrategy.SEQUENTIAL, 16384).run(0)
+        with pytest.raises(ValueError):
+            PipelineSimulator(COSTS, BucketStrategy.SEQUENTIAL, 16384,
+                              buffers=0)
+
+    def test_more_buffers_never_slower(self):
+        q2 = strategy_throughput_qps(
+            COSTS, BucketStrategy.DOUBLE_BUFFERED, 16384
+        )
+        run3 = PipelineSimulator(
+            COSTS, BucketStrategy.DOUBLE_BUFFERED, 16384, buffers=3
+        ).run(64)
+        q3 = 16384 * 1e9 / run3.steady_state_bucket_ns
+        assert q3 >= q2 * 0.99
+
+
+class TestGpuBoundShape:
+    """When the GPU dominates (T2 >> T4), pipelining gains less and
+    double buffering converges to the T2 bound — the regular-tree
+    behaviour in Fig 10."""
+
+    GPU_BOUND = BucketCosts(t1=15e3, t2=120e3, t3=15e3, t4=30e3)
+
+    def test_double_buffer_hits_t2(self):
+        qps = strategy_throughput_qps(
+            self.GPU_BOUND, BucketStrategy.DOUBLE_BUFFERED, 16384
+        )
+        assert qps == pytest.approx(16384 * 1e9 / 120e3, rel=0.05)
+
+    def test_pipelining_gain_smaller_when_gpu_bound(self):
+        def gain(costs):
+            seq = strategy_throughput_qps(
+                costs, BucketStrategy.SEQUENTIAL, 16384
+            )
+            pipe = strategy_throughput_qps(
+                costs, BucketStrategy.PIPELINED, 16384
+            )
+            return pipe / seq
+
+        assert gain(self.GPU_BOUND) < gain(COSTS)

@@ -1,0 +1,83 @@
+"""Machine configs and scaling (DESIGN.md section 4)."""
+
+import pytest
+
+from repro.platform.configs import (
+    SCALE_FACTOR,
+    MachineConfig,
+    machine_m1,
+    machine_m2,
+)
+
+
+class TestM1:
+    def test_identity(self, m1):
+        assert "E5-2665" in m1.cpu.name
+        assert "780" in m1.gpu.name
+        assert m1.cpu.threads == 16
+        assert m1.gpu.sms == 12
+
+    def test_no_avx2_on_m1(self, m1):
+        # the reason Fig 8 runs on M2
+        assert not m1.cpu.has_avx2
+
+    def test_scaled_capacities(self, m1):
+        assert m1.cpu.llc_bytes == 20 * 1024**2 // (SCALE_FACTOR * 8)
+        assert m1.gpu.device_mem_bytes == 3 * 1024**3 // SCALE_FACTOR
+        assert m1.cpu.huge_page == 1024**3 // SCALE_FACTOR
+
+    def test_four_huge_tlb_entries(self, m1):
+        assert m1.cpu.tlb_entries_huge == 4
+
+    def test_page_walk_asymmetry(self, m1):
+        # 5 accesses for 4K pages vs 3 for 1G pages
+        assert m1.cpu.page_walk_accesses_small == 5
+        assert m1.cpu.page_walk_accesses_huge == 3
+        assert m1.cpu.page_walk_cost_huge_ns < m1.cpu.page_walk_cost_small_ns
+
+    def test_bucket_and_pipeline_defaults(self, m1):
+        assert m1.bucket_size == 16 * 1024
+        assert m1.software_pipeline_len == 16
+
+
+class TestM2:
+    def test_identity(self, m2):
+        assert "4800MQ" in m2.cpu.name
+        assert "770M" in m2.gpu.name
+        assert m2.cpu.has_avx2
+
+    def test_weaker_gpu_than_m1(self, m1, m2):
+        assert (m2.gpu.effective_bandwidth_gbs
+                < m1.gpu.effective_bandwidth_gbs / 3)
+
+    def test_weaker_cpu_memory(self, m1, m2):
+        assert m2.cpu.mem_bandwidth_gbs < m1.cpu.mem_bandwidth_gbs
+        assert m2.cpu.llc_bytes < m1.cpu.llc_bytes
+
+
+class TestDerived:
+    def test_cycle_ns(self, m1):
+        assert m1.cpu.cycle_ns == pytest.approx(1 / 2.4)
+
+    def test_effective_bandwidth(self, m1):
+        assert m1.gpu.effective_bandwidth_gbs == pytest.approx(
+            m1.gpu.mem_bandwidth_gbs * m1.gpu.random_access_efficiency
+        )
+
+    def test_pcie_transfer_model(self, m1):
+        t = m1.pcie.transfer_ns(12_000)
+        assert t == pytest.approx(m1.pcie.t_init_ns + 1000.0)
+
+    def test_with_gpu_override(self, m1):
+        modified = m1.with_gpu(device_mem_bytes=1234)
+        assert modified.gpu.device_mem_bytes == 1234
+        assert m1.gpu.device_mem_bytes != 1234  # original untouched
+        assert modified.cpu is m1.cpu
+
+    def test_with_cpu_override(self, m1):
+        modified = m1.with_cpu(threads=4)
+        assert modified.cpu.threads == 4
+
+    def test_custom_scale(self):
+        m = machine_m1(scale=1)
+        assert m.gpu.device_mem_bytes == 3 * 1024**3

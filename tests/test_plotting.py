@@ -1,0 +1,79 @@
+"""ASCII chart rendering for experiment tables."""
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.plotting import bar_chart, series_chart
+
+
+@pytest.fixture()
+def table():
+    t = ExperimentTable("t", "d")
+    for n, tree, mqps in [
+        (1, "a", 10.0), (2, "a", 20.0), (4, "a", 30.0),
+        (1, "b", 5.0), (2, "b", 12.0), (4, "b", 40.0),
+    ]:
+        t.add(n=n, tree=tree, mqps=mqps)
+    return t
+
+
+class TestBarChart:
+    def test_renders_all_rows(self, table):
+        out = bar_chart(table, "tree", "mqps", n=2)
+        assert "a |" in out and "b |" in out
+        assert "20" in out and "12" in out
+
+    def test_bars_proportional(self, table):
+        out = bar_chart(table, "n", "mqps", tree="a", width=30)
+        lines = [l for l in out.splitlines() if "|" in l]
+        lengths = [l.count("#") for l in lines]
+        assert lengths == sorted(lengths)
+        assert lengths[-1] == 30
+
+    def test_empty_selection(self, table):
+        assert bar_chart(table, "tree", "mqps", n=99) == "(no data)"
+
+    def test_zero_values_render(self):
+        t = ExperimentTable("z", "d")
+        t.add(k="x", v=0.0)
+        out = bar_chart(t, "k", "v")
+        assert "x |" in out
+
+
+class TestSeriesChart:
+    def test_contains_glyphs_and_legend(self, table):
+        out = series_chart(table, "n", "mqps", series_col="tree")
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_labels(self, table):
+        out = series_chart(table, "n", "mqps", series_col="tree")
+        assert "1 .. 4" in out
+        assert "40" in out  # y max
+
+    def test_single_series(self, table):
+        out = series_chart(table, "n", "mqps")
+        assert "mqps over n" in out
+
+    def test_single_point(self):
+        t = ExperimentTable("p", "d")
+        t.add(x=5, y=7.0)
+        out = series_chart(t, "x", "y")
+        assert "o" in out
+
+    def test_empty(self):
+        t = ExperimentTable("e", "d")
+        assert series_chart(t, "x", "y") == "(no data)"
+
+    def test_monotone_series_slopes_up(self, table):
+        """Higher y values appear on higher rows of the grid."""
+        out = series_chart(table, "n", "mqps", series_col="tree",
+                           height=12, width=30)
+        rows = out.splitlines()[1:13]
+        first_glyph_row = next(
+            i for i, row in enumerate(rows) if "x" in row or "o" in row
+        )
+        last_glyph_row = max(
+            i for i, row in enumerate(rows) if "x" in row or "o" in row
+        )
+        assert first_glyph_row < last_glyph_row

@@ -1,0 +1,112 @@
+"""Stream prefetcher (memsim): streams hit, random traffic unaffected."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.memsim.allocator import PageKind
+from repro.memsim.cache import SetAssociativeCache
+from repro.memsim.mainmem import MemorySystem
+from repro.memsim.prefetch import StreamPrefetcher
+
+
+class TestStreamPrefetcher:
+    def test_sequential_stream_prefetches(self):
+        cache = SetAssociativeCache(1 << 16)
+        pf = StreamPrefetcher(cache, degree=2)
+        pf.observe(0, 10, 1000)
+        issued = pf.observe(0, 11, 1000)  # stream confirmed
+        assert issued == 2
+        assert cache.contains(12 * 64)
+        assert cache.contains(13 * 64)
+
+    def test_random_accesses_never_prefetch(self):
+        cache = SetAssociativeCache(1 << 16)
+        pf = StreamPrefetcher(cache, degree=2)
+        rng = np.random.default_rng(1)
+        total = sum(
+            pf.observe(0, int(line), 10**6)
+            for line in rng.integers(0, 10**5, size=200)
+        )
+        # adjacent pairs are vanishingly rare in random traffic
+        assert total <= 2
+
+    def test_stream_stops_at_segment_end(self):
+        cache = SetAssociativeCache(1 << 16)
+        pf = StreamPrefetcher(cache, degree=4)
+        pf.observe(0, 98, 99)
+        issued = pf.observe(0, 99, 99)
+        assert issued == 0  # nothing beyond the segment
+
+    def test_stream_table_eviction(self):
+        cache = SetAssociativeCache(1 << 16)
+        pf = StreamPrefetcher(cache, degree=1, streams=2)
+        pf.observe(100, 1, 10**6)
+        pf.observe(200, 1, 10**6)
+        pf.observe(300, 1, 10**6)  # evicts the base-100 stream
+        assert pf.observe(100, 2, 10**6) == 0  # no longer tracked
+
+    def test_invalid_params(self):
+        cache = SetAssociativeCache(1 << 16)
+        with pytest.raises(ValueError):
+            StreamPrefetcher(cache, degree=-1)
+        with pytest.raises(ValueError):
+            StreamPrefetcher(cache, streams=0)
+
+    def test_prefetch_not_counted_as_demand_traffic(self):
+        cache = SetAssociativeCache(1 << 16)
+        pf = StreamPrefetcher(cache, degree=2)
+        pf.observe(0, 10, 1000)
+        pf.observe(0, 11, 1000)
+        # two demand accesses were never issued through observe itself
+        assert cache.counters.line_accesses == 0
+        assert cache.counters.cache_misses == 0
+
+    def test_reset(self):
+        cache = SetAssociativeCache(1 << 16)
+        pf = StreamPrefetcher(cache, degree=2)
+        pf.observe(0, 10, 1000)
+        pf.observe(0, 11, 1000)
+        pf.reset()
+        assert pf.issued == 0
+        assert pf.observe(0, 12, 1000) == 0  # stream forgotten
+
+
+class TestMemorySystemIntegration:
+    def test_sequential_scan_mostly_hits(self):
+        mem = MemorySystem(llc_bytes=1 << 16, prefetch_degree=2)
+        seg = mem.allocate("scan", 1 << 14, PageKind.SMALL)
+        for line in range(200):
+            mem.touch_line(seg, line)
+        # after the stream is established only every few lines miss
+        assert mem.counters.cache_misses < 200 / 2
+        assert mem.counters.prefetches > 50
+
+    def test_disabled_prefetcher(self):
+        mem = MemorySystem(llc_bytes=1 << 16, prefetch_degree=0)
+        assert mem.prefetcher is None
+        seg = mem.allocate("scan", 1 << 14, PageKind.SMALL)
+        for line in range(100):
+            mem.touch_line(seg, line)
+        assert mem.counters.cache_misses == 100
+        assert mem.counters.prefetches == 0
+
+    def test_point_lookups_untouched_by_prefetcher(self, dataset64):
+        """Random tree descents must not trigger streams — the
+        calibrated point-query figures depend on it."""
+        keys, values = dataset64
+        mem = MemorySystem(llc_bytes=1 << 15, prefetch_degree=2)
+        tree = ImplicitCpuBPlusTree(keys, values, mem=mem)
+        rng = np.random.default_rng(3)
+        for k in rng.choice(keys, size=300).tolist():
+            tree.lookup(int(k))
+        assert mem.counters.prefetches < 0.05 * mem.counters.line_accesses
+
+    def test_range_scan_benefits(self, dataset64):
+        keys, values = dataset64
+        mem = MemorySystem(llc_bytes=1 << 15, prefetch_degree=2)
+        tree = ImplicitCpuBPlusTree(keys, values, mem=mem)
+        sk = np.sort(keys)
+        mem.reset_counters()
+        tree.range_query(int(sk[0]), int(sk[1500]))
+        assert mem.counters.prefetches > 100

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.cpu.btree_regular import RegularCpuBPlusTree
+from repro.cpu.node_search import (
+    hierarchical_simd_search,
+    linear_simd_search,
+    sequential_search,
+)
+from repro.gpusim.memory import coalesce
+from repro.keys import KEY64
+from repro.memsim.cache import SetAssociativeCache
+from repro.memsim.tlb import Tlb
+from repro.memsim.allocator import PageKind
+
+SLOW = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+key_lists = st.lists(
+    st.integers(min_value=0, max_value=2**63),
+    min_size=1, max_size=200, unique=True,
+)
+
+
+class TestNodeSearchProperties:
+    @given(
+        keys=st.lists(st.integers(0, 2**62), min_size=1, max_size=8,
+                      unique=True),
+        query=st.integers(0, 2**62),
+    )
+    @SLOW
+    def test_all_algorithms_agree(self, keys, query):
+        node = sorted(keys) + [KEY64.max_value] * (8 - len(keys))
+        expected = sum(1 for k in node if k < query)
+        assert sequential_search(node, query) == expected
+        assert linear_simd_search(node, query) == expected
+        assert hierarchical_simd_search(node, query) == expected
+
+    @given(
+        keys=st.lists(st.integers(0, 2**30), min_size=1, max_size=16,
+                      unique=True),
+        query=st.integers(0, 2**30),
+    )
+    @SLOW
+    def test_32bit_agreement(self, keys, query):
+        node = sorted(keys) + [2**32 - 1] * (16 - len(keys))
+        expected = sum(1 for k in node if k < query)
+        assert linear_simd_search(node, query) == expected
+        assert hierarchical_simd_search(node, query) == expected
+
+
+class TestImplicitTreeProperties:
+    @given(keys=key_lists)
+    @SLOW
+    def test_tree_is_faithful_map(self, keys):
+        values = [k % 1009 for k in keys]
+        tree = ImplicitCpuBPlusTree(keys, values)
+        model = dict(zip(keys, values))
+        for k in keys:
+            assert tree.lookup(k, instrument=False) == model[k]
+        assert sorted(model.items()) == tree.items()
+
+    @given(keys=key_lists, fanout=st.integers(2, 9))
+    @SLOW
+    def test_any_fanout_correct(self, keys, fanout):
+        tree = ImplicitCpuBPlusTree(keys, keys, fanout=fanout)
+        for k in keys[:32]:
+            assert tree.lookup(k, instrument=False) == k
+
+    @given(keys=key_lists, lo=st.integers(0, 2**63),
+           hi=st.integers(0, 2**63))
+    @SLOW
+    def test_range_query_matches_filter(self, keys, lo, hi):
+        tree = ImplicitCpuBPlusTree(keys, keys)
+        got = tree.range_query(min(lo, hi), max(lo, hi))
+        expected = sorted(k for k in keys
+                          if min(lo, hi) <= k <= max(lo, hi))
+        assert [k for k, _v in got] == expected
+
+    @given(keys=key_lists)
+    @SLOW
+    def test_batch_equals_scalar(self, keys):
+        tree = ImplicitCpuBPlusTree(keys, keys)
+        out = tree.lookup_batch(np.asarray(keys, dtype=np.uint64))
+        assert out.tolist() == keys
+
+
+class TestRegularTreeProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.integers(0, 5000),
+            ),
+            min_size=1, max_size=300,
+        )
+    )
+    @SLOW
+    def test_matches_dict_model(self, ops):
+        tree = RegularCpuBPlusTree()
+        model = {}
+        for op, key in ops:
+            if op == "insert":
+                tree.insert(key, key * 3 % 997)
+                model[key] = key * 3 % 997
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        assert len(tree) == len(model)
+        for key in {k for _o, k in ops}:
+            assert tree.lookup(key, instrument=False) == model.get(key)
+        tree.check_invariants()
+
+    @given(keys=key_lists)
+    @SLOW
+    def test_bulk_build_then_iterate(self, keys):
+        tree = RegularCpuBPlusTree(keys, keys)
+        assert [k for k, _v in tree.items()] == sorted(keys)
+        tree.check_invariants()
+
+
+class TestCoalesceProperties:
+    @given(
+        ranges=st.lists(
+            st.tuples(st.integers(0, 8192), st.integers(1, 256)),
+            min_size=1, max_size=32,
+        )
+    )
+    @SLOW
+    def test_transactions_cover_all_accesses(self, ranges):
+        txns = coalesce(ranges)
+        covered = set()
+        for start, size in txns:
+            assert size in (32, 64, 128)
+            assert start % size == 0
+            covered.update(range(start, start + size))
+        for start, length in ranges:
+            assert all(b in covered for b in range(start, start + length))
+
+    @given(
+        ranges=st.lists(
+            st.tuples(st.integers(0, 8192), st.integers(1, 64)),
+            min_size=1, max_size=32,
+        )
+    )
+    @SLOW
+    def test_no_more_transactions_than_sectors(self, ranges):
+        txns = coalesce(ranges)
+        sectors = set()
+        for start, length in ranges:
+            sectors.update(range(start // 32, (start + length - 1) // 32 + 1))
+        assert len(txns) <= len(sectors)
+
+
+class TestCacheProperties:
+    @given(addrs=st.lists(st.integers(0, 2**20), min_size=1, max_size=400))
+    @SLOW
+    def test_immediate_rereference_always_hits(self, addrs):
+        cache = SetAssociativeCache(4096, associativity=4)
+        for addr in addrs:
+            cache.access(addr)
+            assert cache.access(addr)
+
+    @given(addrs=st.lists(st.integers(0, 2**20), min_size=1, max_size=400))
+    @SLOW
+    def test_hits_plus_misses_equals_accesses(self, addrs):
+        cache = SetAssociativeCache(4096, associativity=4)
+        for addr in addrs:
+            cache.access(addr)
+        c = cache.counters
+        assert c.cache_hits + c.cache_misses == c.line_accesses
+
+    @given(addrs=st.lists(st.integers(0, 2**16), min_size=1, max_size=300))
+    @SLOW
+    def test_resident_lines_bounded_by_capacity(self, addrs):
+        cache = SetAssociativeCache(2048, associativity=2)
+        for addr in addrs:
+            cache.access(addr)
+        assert cache.resident_lines <= cache.capacity_lines
+
+
+class TestTlbProperties:
+    @given(pages=st.lists(st.integers(0, 1000), min_size=1, max_size=300))
+    @SLOW
+    def test_counters_consistent(self, pages):
+        tlb = Tlb(entries_small=8, stlb_entries=8, entries_huge=4)
+        for page in pages:
+            tlb.translate(page, PageKind.SMALL)
+        c = tlb.counters
+        assert c.tlb_hits + c.tlb_misses_small == len(pages)
+
+    @given(pages=st.lists(st.integers(0, 3), min_size=1, max_size=100))
+    @SLOW
+    def test_working_set_within_reach_never_misses_twice(self, pages):
+        tlb = Tlb(entries_small=4, stlb_entries=0, entries_huge=4)
+        for page in pages:
+            tlb.translate(page, PageKind.SMALL)
+        # at most 4 distinct pages -> at most 4 cold misses
+        assert tlb.counters.tlb_misses_small <= 4

@@ -1,0 +1,40 @@
+"""Readable reprs on the user-facing classes."""
+
+import pytest
+
+from repro import (
+    CssTree,
+    FastTree,
+    HBPlusTree,
+    ImplicitCpuBPlusTree,
+    ImplicitHBPlusTree,
+    RegularCpuBPlusTree,
+)
+from repro.workloads.generators import generate_dataset
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_dataset(800, seed=101)
+
+
+@pytest.mark.parametrize("cls,token", [
+    (ImplicitCpuBPlusTree, "ImplicitCpuBPlusTree"),
+    (RegularCpuBPlusTree, "RegularCpuBPlusTree"),
+    (CssTree, "CssTree"),
+    (FastTree, "FastTree"),
+])
+def test_cpu_tree_reprs(data, cls, token):
+    keys, values = data
+    text = repr(cls(keys, values))
+    assert token in text
+    assert "n=800" in text
+    assert "bits=64" in text
+
+
+def test_hybrid_reprs(data, m1):
+    keys, values = data
+    hi = repr(ImplicitHBPlusTree(keys, values, machine=m1))
+    assert "ImplicitHBPlusTree" in hi and "machine='M1'" in hi
+    hr = repr(HBPlusTree(keys, values, machine=m1))
+    assert "HBPlusTree" in hr and "iseg=" in hr

@@ -1,0 +1,48 @@
+"""The run_all CLI entry point."""
+
+import pytest
+
+import repro.bench.figures.common as common
+from repro.bench.run_all import _markdown, main
+from repro.bench.harness import ExperimentTable
+
+
+@pytest.fixture(autouse=True)
+def tiny(monkeypatch):
+    monkeypatch.setattr(common, "QUICK_SIZES", [1 << 13])
+    monkeypatch.setattr(common, "PROFILE_QUERIES", 256)
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["--only", "fig09"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+        assert "completed" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["--only", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_markdown_report(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["--only", "fig09", "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert text.startswith("# HB+-tree reproduction")
+        assert "### fig09" in text
+        assert "|" in text
+
+
+class TestMarkdownFormatter:
+    def test_rows_and_notes(self):
+        t = ExperimentTable("e1", "desc")
+        t.add(a=1, b="x")
+        t.note("a note")
+        md = _markdown(t)
+        assert "| a | b |" in md
+        assert "| 1 | x |" in md
+        assert "*a note*" in md
+
+    def test_empty_table(self):
+        t = ExperimentTable("e2", "d")
+        assert "(no rows)" in _markdown(t)

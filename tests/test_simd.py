@@ -1,0 +1,119 @@
+"""AVX2 emulation layer (appendix A intrinsics)."""
+
+import pytest
+
+from repro.cpu import simd
+
+
+class TestVecReg:
+    def test_set1_broadcasts_four_lanes(self):
+        v = simd.mm256_set1_epi64x(42)
+        assert v.lanes == (42, 42, 42, 42)
+        assert v.lane_bits == 64
+
+    def test_set_epi64x_orders_msb_first(self):
+        v = simd.mm256_set_epi64x(3, 2, 1, 0)
+        assert v.lanes == (3, 2, 1, 0)
+
+    def test_mm_set1_two_lanes(self):
+        v = simd.mm_set1_epi64x(9)
+        assert len(v) == 2
+
+    def test_set1_epi32_eight_lanes(self):
+        v = simd.mm256_set1_epi32(5)
+        assert len(v) == 8
+        assert v.lane_bits == 32
+
+    def test_width_bits(self):
+        assert simd.mm256_set1_epi64x(0).width_bits == 256
+        assert simd.mm_set1_epi64x(0).width_bits == 128
+
+    def test_lane_range_validated(self):
+        with pytest.raises(ValueError):
+            simd.VecReg(lanes=(2**64,), lane_bits=64)
+        with pytest.raises(ValueError):
+            simd.VecReg(lanes=(-1,), lane_bits=64)
+
+    def test_set_epi32_requires_eight(self):
+        with pytest.raises(ValueError):
+            simd.mm256_set_epi32(1, 2, 3)
+
+
+class TestCmpgt:
+    def test_unsigned_greater_than(self):
+        a = simd.mm256_set_epi64x(10, 10, 10, 10)
+        b = simd.mm256_set_epi64x(5, 10, 15, 2**63)
+        r = simd.cmpgt(a, b)
+        ones = 2**64 - 1
+        assert r.lanes == (ones, 0, 0, 0)
+
+    def test_full_unsigned_domain(self):
+        # 2**63 > 1 must hold in unsigned comparison (the hardware's
+        # signed cmpgt would get this wrong without the sign flip)
+        a = simd.mm_set1_epi64x(2**63)
+        b = simd.mm_set1_epi64x(1)
+        r = simd.cmpgt(a, b)
+        assert all(lane for lane in r.lanes)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            simd.cmpgt(simd.mm256_set1_epi64x(1), simd.mm_set1_epi64x(1))
+
+
+class TestMovemask:
+    def test_all_ones_register(self):
+        ones = 2**64 - 1
+        v = simd.VecReg(lanes=(ones, ones, ones, ones), lane_bits=64)
+        assert simd.movemask_epi8(v) == 0xFFFFFFFF
+
+    def test_all_zero_register(self):
+        v = simd.mm256_set1_epi64x(0)
+        assert simd.movemask_epi8(v) == 0
+
+    def test_snippet1_mask_counts_lanes(self):
+        # Snippet 1: (movemask & 0x10101010) popcount == true lane count
+        ones = 2**64 - 1
+        for true_lanes in range(5):
+            lanes = tuple(
+                ones if i < true_lanes else 0 for i in range(4)
+            )
+            v = simd.VecReg(lanes=lanes, lane_bits=64)
+            masked = simd.movemask_epi8(v) & 0x10101010
+            assert simd.popcount(masked) == true_lanes
+
+    def test_snippet2_mask_counts_128bit_lanes(self):
+        ones = 2**64 - 1
+        v = simd.VecReg(lanes=(ones, 0), lane_bits=64)
+        masked = simd.movemask_epi8(v) & 0x00001010
+        assert simd.popcount(masked) == 1
+
+    def test_mask_bit_positions_lsb_lane_first(self):
+        ones = 2**64 - 1
+        v = simd.VecReg(lanes=(0, ones), lane_bits=64)  # low lane set
+        mask = simd.movemask_epi8(v)
+        assert mask == 0x000000FF
+
+
+class TestPopcount:
+    @pytest.mark.parametrize("x,expected", [
+        (0, 0), (1, 1), (0xFF, 8), (0x10101010, 4), (2**32 - 1, 32),
+    ])
+    def test_values(self, x, expected):
+        assert simd.popcount(x) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            simd.popcount(-1)
+
+
+class TestHelpers:
+    def test_count_true_lanes(self):
+        ones = 2**32 - 1
+        v = simd.VecReg(lanes=(ones, 0, ones, 0, 0, 0, ones, 0),
+                        lane_bits=32)
+        assert simd.count_true_lanes(v) == 3
+
+    def test_load_lanes_lowest_first(self):
+        v = simd.load_lanes([1, 2, 3, 4], 64)
+        # memory order [1,2,3,4] -> lanes MSB-first (4,3,2,1)
+        assert v.lanes == (4, 3, 2, 1)

@@ -1,0 +1,143 @@
+"""Extra SIMT interpreter coverage: reconvergence, banks, stores."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.simt import KernelLaunch
+
+
+def _reconverge_kernel(ctx, data, out):
+    """Divergent halves that must reconverge at the barrier."""
+    tid = ctx.thread_idx[0]
+    if tid < 16:
+        v = yield ("gld", data, tid)
+        yield ("shst", "acc", tid, int(v) * 2)
+    else:
+        yield ("shst", "acc", tid, tid)
+    yield ("sync",)
+    neighbour = yield ("shld", "acc", (tid + 16) % 32)
+    yield ("gst", out, tid, neighbour)
+
+
+def _bank_conflict_kernel(ctx, out):
+    """Every thread hits bank 0 with a distinct word: worst case."""
+    tid = ctx.thread_idx[0]
+    yield ("shst", "buf", tid * 32, tid)
+    yield ("sync",)
+    v = yield ("shld", "buf", tid * 32)
+    yield ("gst", out, tid, v)
+
+
+def _store_only_kernel(ctx, out):
+    tid = ctx.block_idx * ctx.block_dim[0] + ctx.thread_idx[0]
+    yield ("gst", out, tid, tid * 3)
+
+
+def _multi_barrier_kernel(ctx, out):
+    tid = ctx.thread_idx[0]
+    total = 0
+    for round_no in range(4):
+        yield ("shst", "scratch", tid, tid + round_no)
+        yield ("sync",)
+        v = yield ("shld", "scratch", (tid + 1) % ctx.block_dim[0])
+        total += int(v)
+        yield ("sync",)
+    yield ("gst", out, tid, total)
+
+
+class TestReconvergence:
+    def test_divergent_halves_reconverge(self):
+        mem = DeviceMemory(1 << 20)
+        data = mem.upload("data", np.arange(16, dtype=np.int64))
+        out = mem.upload("out", np.zeros(32, dtype=np.int64))
+        launch = KernelLaunch(
+            mem, _reconverge_kernel, 1, (32, 1),
+            shared_decls={"acc": ((32,), np.int64)},
+        )
+        stats = launch.run(data, out)
+        # thread t < 16 reads acc[t+16] = t+16; thread t >= 16 reads
+        # acc[t-16] = (t-16)*2
+        expect = [t + 16 for t in range(16)] + [
+            (t - 16) * 2 for t in range(16, 32)
+        ]
+        assert out.array.tolist() == expect
+        assert stats.divergent_rounds > 0
+        assert stats.barriers >= 1
+
+
+class TestBankConflicts:
+    def test_worst_case_counted(self):
+        mem = DeviceMemory(1 << 20)
+        out = mem.upload("out", np.zeros(32, dtype=np.int64))
+        launch = KernelLaunch(
+            mem, _bank_conflict_kernel, 1, (32, 1),
+            shared_decls={"buf": ((32 * 32,), np.int32)},
+        )
+        stats = launch.run(out)
+        assert out.array.tolist() == list(range(32))
+        # 32 distinct words in one bank -> 31 extra cycles per access
+        assert stats.bank_conflicts >= 31
+
+
+class TestStores:
+    def test_store_only_kernel(self):
+        mem = DeviceMemory(1 << 20)
+        out = mem.upload("out", np.zeros(64, dtype=np.int64))
+        launch = KernelLaunch(mem, _store_only_kernel, 2, (32, 1))
+        stats = launch.run(out)
+        assert out.array.tolist() == [i * 3 for i in range(64)]
+        assert stats.global_transactions > 0
+
+
+class TestRepeatedBarriers:
+    def test_four_rounds(self):
+        mem = DeviceMemory(1 << 20)
+        out = mem.upload("out", np.zeros(8, dtype=np.int64))
+        launch = KernelLaunch(
+            mem, _multi_barrier_kernel, 1, (8, 1),
+            shared_decls={"scratch": ((8,), np.int64)},
+        )
+        stats = launch.run(out)
+        expect = [sum((t + 1) % 8 + r for r in range(4)) for t in range(8)]
+        assert out.array.tolist() == expect
+        assert stats.barriers >= 8  # two per round
+
+
+class TestFigure32Bit:
+    def test_fig19_runs_32bit(self, monkeypatch):
+        import repro.bench.figures.common as common
+        monkeypatch.setattr(common, "QUICK_SIZES", [1 << 13])
+        monkeypatch.setattr(common, "PROFILE_QUERIES", 256)
+        from repro.bench.figures import fig19
+        table = fig19.run(key_bits=32)
+        assert len(table.rows) == 3
+        f9 = table.value("mqps", tree="cpu-implicit-f9", n=1 << 13)
+        f8 = table.value("mqps", tree="hb-implicit-f8", n=1 << 13)
+        assert f9 >= f8
+
+    def test_fig07_runs_32bit(self, monkeypatch):
+        import repro.bench.figures.common as common
+        monkeypatch.setattr(common, "QUICK_SIZES", [1 << 13])
+        monkeypatch.setattr(common, "PROFILE_QUERIES", 256)
+        from repro.bench.figures import fig07
+        table = fig07.run(key_bits=32)
+        assert len(table.rows) == 6
+
+
+class TestAutoChart:
+    def test_picks_sweep_projection(self):
+        from repro.bench.harness import ExperimentTable
+        from repro.bench.run_all import _auto_chart
+        t = ExperimentTable("x", "d")
+        t.add(n=1, tree="a", mqps=10.0)
+        t.add(n=2, tree="a", mqps=20.0)
+        chart = _auto_chart(t)
+        assert "mqps over n" in chart
+
+    def test_no_projection_returns_empty(self):
+        from repro.bench.harness import ExperimentTable
+        from repro.bench.run_all import _auto_chart
+        t = ExperimentTable("x", "d")
+        t.add(foo=1, bar=2)
+        assert _auto_chart(t) == ""

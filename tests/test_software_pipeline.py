@@ -1,0 +1,95 @@
+"""Software pipelining executor (Algorithm 2, appendix B.2)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.cpu.software_pipeline import SoftwarePipeline
+from repro.memsim.mainmem import MemorySystem
+
+
+@pytest.fixture()
+def tree_with_mem(dataset64):
+    keys, values = dataset64
+    mem = MemorySystem()
+    return ImplicitCpuBPlusTree(keys, values, mem=mem), keys, values
+
+
+class TestCorrectness:
+    def test_results_match_plain_lookup(self, tree_with_mem):
+        tree, keys, values = tree_with_mem
+        pipe = SoftwarePipeline(tree, pipeline_len=16)
+        got = pipe.run(keys[:256].tolist())
+        assert got == [int(v) for v in values[:256]]
+
+    @pytest.mark.parametrize("p", [1, 2, 7, 16, 33])
+    def test_any_pipeline_length(self, tree_with_mem, p):
+        tree, keys, values = tree_with_mem
+        pipe = SoftwarePipeline(tree, pipeline_len=p)
+        got = pipe.run(keys[:64].tolist())
+        assert got == [int(v) for v in values[:64]]
+
+    def test_absent_keys_yield_none(self, tree_with_mem):
+        tree, keys, _values = tree_with_mem
+        probe = int(keys.max()) + 10
+        pipe = SoftwarePipeline(tree, pipeline_len=4)
+        assert pipe.run([probe]) == [None]
+
+    def test_partial_last_batch(self, tree_with_mem):
+        tree, keys, values = tree_with_mem
+        pipe = SoftwarePipeline(tree, pipeline_len=16)
+        got = pipe.run(keys[:21].tolist())  # 16 + 5
+        assert got == [int(v) for v in values[:21]]
+
+    def test_invalid_length_rejected(self, tree_with_mem):
+        tree, _k, _v = tree_with_mem
+        with pytest.raises(ValueError):
+            SoftwarePipeline(tree, pipeline_len=0)
+
+
+class TestInterleaving:
+    def test_level_order_access_pattern(self, dataset64):
+        """Algorithm 2 touches level l for ALL in-flight queries before
+        level l+1 for any of them."""
+        keys, values = dataset64
+        mem = MemorySystem()
+        tree = ImplicitCpuBPlusTree(keys, values, mem=mem)
+
+        touched = []
+        original = mem.touch_line
+
+        def spy(segment, line):
+            touched.append((segment.name, line))
+            return original(segment, line)
+
+        mem.touch_line = spy
+        pipe = SoftwarePipeline(tree, pipeline_len=8)
+        pipe.run(keys[:8].tolist())
+        # I-segment touches come in contiguous per-level groups of 8
+        iseg = [t for t in touched if t[0].endswith(".I")]
+        assert len(iseg) == 8 * tree.height
+        # level offsets are monotone across groups of 8
+        for g in range(tree.height - 1):
+            lines_this = {line for _n, line in iseg[g * 8:(g + 1) * 8]}
+            lines_next = {line for _n, line in iseg[(g + 1) * 8:(g + 2) * 8]}
+            assert max(lines_this) < min(lines_next) or g == 0
+
+    def test_stats_accumulate(self, tree_with_mem):
+        tree, keys, _v = tree_with_mem
+        pipe = SoftwarePipeline(tree, pipeline_len=16)
+        pipe.run(keys[:64].tolist())
+        assert pipe.stats.queries == 64
+        assert (pipe.stats.overlapped_misses + pipe.stats.exposed_misses) > 0
+
+    def test_reset_stats(self, tree_with_mem):
+        tree, keys, _v = tree_with_mem
+        pipe = SoftwarePipeline(tree, pipeline_len=4)
+        pipe.run(keys[:8].tolist())
+        pipe.reset_stats()
+        assert pipe.stats.queries == 0
+
+    def test_effective_mlp_capped(self, tree_with_mem):
+        tree, _k, _v = tree_with_mem
+        assert SoftwarePipeline(tree, 16).effective_memory_parallelism(10) == 10
+        assert SoftwarePipeline(tree, 4).effective_memory_parallelism(10) == 4
+        assert SoftwarePipeline(tree, 1).effective_memory_parallelism(10) == 1

@@ -1,0 +1,99 @@
+"""Seeded large-scale stress tests (the slow, thorough tier).
+
+These complement the hypothesis properties with bigger, longer op
+sequences that historically surface interaction bugs (splits + deletes
++ precision + replay).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hbtree import HBPlusTree
+from repro.cpu.btree_regular import RegularCpuBPlusTree
+from repro.validate import validate_index
+from repro.workloads.generators import generate_dataset
+from repro.workloads.trace import replay_trace, synthesize_trace
+
+
+class TestRegularTreeStress:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_long_mixed_op_sequence_vs_dict(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = RegularCpuBPlusTree()
+        model = {}
+        # keys drawn from a small domain to force heavy overwrite /
+        # delete / reinsert churn within the same leaves
+        domain = 2_000
+        for step in range(6_000):
+            key = int(rng.integers(0, domain))
+            action = rng.random()
+            if action < 0.6:
+                value = int(rng.integers(0, 10**6))
+                tree.insert(key, value)
+                model[key] = value
+            elif action < 0.9:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+            else:
+                assert tree.lookup(key, instrument=False) == model.get(key)
+        tree.check_invariants()
+        assert dict(tree.items()) == model
+
+    def test_adversarial_high_bit_churn(self):
+        """Large keys (beyond float64 precision) under churn."""
+        rng = np.random.default_rng(7)
+        base = (1 << 62) + 1
+        tree = RegularCpuBPlusTree()
+        model = {}
+        for step in range(4_000):
+            key = base + int(rng.integers(0, 3_000))
+            if rng.random() < 0.7:
+                tree.insert(key, step)
+                model[key] = step
+            else:
+                tree.delete(key)
+                model.pop(key, None)
+        tree.check_invariants()
+        assert dict(tree.items()) == model
+
+    def test_packed_tree_insert_storm(self):
+        """Bulk-built at 100% fill, then a split storm."""
+        keys, values = generate_dataset(1 << 14, seed=31)
+        tree = RegularCpuBPlusTree(keys, values, fill=1.0)
+        rng = np.random.default_rng(32)
+        fresh = rng.choice(2**62, size=3_000, replace=False)
+        existing = set(keys.tolist())
+        for k in fresh.tolist():
+            if int(k) not in existing:
+                tree.insert(int(k), 1)
+        tree.check_invariants()
+
+    def test_grow_then_shrink_to_empty_and_back(self):
+        tree = RegularCpuBPlusTree()
+        n = 20_000
+        for k in range(n):
+            tree.insert(k, k)
+        assert tree.height >= 2
+        for k in range(n):
+            assert tree.delete(k)
+        assert len(tree) == 0
+        tree.check_invariants()
+        for k in range(500):
+            tree.insert(k, k + 1)
+        tree.check_invariants()
+        assert tree.lookup(250) == 251
+
+
+class TestTraceStress:
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_long_replay_on_packed_hybrid(self, seed, m1):
+        """The operations-playbook failure mode, at scale: a packed
+        hybrid tree surviving a long drifting trace."""
+        keys, values = generate_dataset(1 << 14, seed=seed)
+        tree = HBPlusTree(keys, values, machine=m1, fill=1.0)
+        trace = synthesize_trace(keys, 6_000, read_ratio=0.6,
+                                 working_set=0.05, drift_every=500,
+                                 seed=seed)
+        stats = replay_trace(trace, tree)
+        assert stats.operations == len(trace)
+        validate_index(tree)

@@ -1,0 +1,138 @@
+"""Workload traces: synthesis, persistence, replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.hbtree import HBPlusTree
+from repro.cpu.btree_regular import RegularCpuBPlusTree
+from repro.workloads.generators import generate_dataset
+from repro.workloads.trace import (
+    OpKind,
+    WorkloadTrace,
+    replay_trace,
+    synthesize_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_dataset(4096, seed=91)
+
+
+class TestSynthesis:
+    def test_length_and_mix(self, data):
+        keys, _values = data
+        trace = synthesize_trace(keys, 2000, read_ratio=0.8)
+        assert len(trace) == 2000
+        assert 0.7 <= trace.read_ratio <= 0.9
+
+    def test_pure_read_trace(self, data):
+        keys, _values = data
+        trace = synthesize_trace(keys, 500, read_ratio=1.0)
+        assert trace.read_ratio == 1.0
+        assert not np.any(trace.ops == OpKind.UPSERT)
+
+    def test_deterministic(self, data):
+        keys, _values = data
+        a = synthesize_trace(keys, 300, seed=5)
+        b = synthesize_trace(keys, 300, seed=5)
+        assert np.array_equal(a.ops, b.ops)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_temporal_locality(self, data):
+        """Consecutive lookups cluster in the key space far more than
+        uniform sampling would."""
+        keys, _values = data
+        trace = synthesize_trace(keys, 2000, read_ratio=1.0,
+                                 working_set=0.02, drift_every=10**9)
+        sorted_keys = np.sort(keys)
+        positions = np.searchsorted(sorted_keys, trace.keys)
+        spread = positions.max() - positions.min()
+        assert spread < 0.1 * len(keys)
+
+    def test_drift_moves_the_window(self, data):
+        keys, _values = data
+        trace = synthesize_trace(keys, 4000, read_ratio=1.0,
+                                 working_set=0.02, drift_every=500)
+        sorted_keys = np.sort(keys)
+        positions = np.searchsorted(sorted_keys, trace.keys)
+        early = positions[:500].mean()
+        late = positions[-500:].mean()
+        assert abs(late - early) > 0.05 * len(keys)
+
+    def test_invalid_params(self, data):
+        keys, _values = data
+        with pytest.raises(ValueError):
+            synthesize_trace(keys, 10, read_ratio=1.5)
+        with pytest.raises(ValueError):
+            synthesize_trace(keys, 10, working_set=0.0)
+
+    def test_misaligned_columns_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace(
+                ops=np.zeros(2, dtype=np.int8),
+                keys=np.zeros(3, dtype=np.uint64),
+                values=np.zeros(2, dtype=np.uint64),
+            )
+
+
+class TestPersistence:
+    def test_round_trip(self, data, tmp_path):
+        keys, _values = data
+        trace = synthesize_trace(keys, 400)
+        path = trace.save(tmp_path / "t")
+        loaded = WorkloadTrace.load(path)
+        assert np.array_equal(loaded.ops, trace.ops)
+        assert np.array_equal(loaded.keys, trace.keys)
+        assert np.array_equal(loaded.values, trace.values)
+        assert loaded.key_bits == 64
+
+
+class TestReplay:
+    def test_replay_on_regular_tree(self, data):
+        keys, values = data
+        tree = RegularCpuBPlusTree(keys, values, fill=0.7)
+        trace = synthesize_trace(keys, 1500, read_ratio=0.7, seed=7)
+        stats = replay_trace(trace, tree)
+        tree.check_invariants()
+        assert stats.operations == len(trace)
+        assert stats.hit_rate > 0.9  # hot-window lookups mostly hit
+
+    def test_replay_matches_manual_application(self, data):
+        keys, values = data
+        trace = synthesize_trace(keys, 800, read_ratio=0.5, seed=9)
+        tree = RegularCpuBPlusTree(keys, values, fill=0.7)
+        replay_trace(trace, tree)
+        # a reference dict applying the same ops must agree
+        model = dict(zip(keys.tolist(), values.tolist()))
+        for op, key, value in zip(trace.ops.tolist(), trace.keys.tolist(),
+                                  trace.values.tolist()):
+            if op == OpKind.UPSERT:
+                model[key] = value
+            elif op == OpKind.DELETE:
+                model.pop(key, None)
+        assert dict(tree.items()) == model
+
+    def test_replay_on_hybrid_keeps_mirror_fresh(self, data, m1):
+        keys, values = data
+        tree = HBPlusTree(keys, values, machine=m1, fill=0.7)
+        trace = synthesize_trace(keys, 600, read_ratio=0.6, seed=11)
+        replay_trace(trace, tree)
+        upserted = trace.keys[trace.ops == OpKind.UPSERT][:32]
+        deleted = set(trace.keys[trace.ops == OpKind.DELETE].tolist())
+        upserted = np.asarray(
+            [k for k in upserted.tolist() if k not in deleted],
+            dtype=np.uint64,
+        )
+        if len(upserted):
+            out = tree.lookup_batch(upserted)
+            assert np.all(out != tree.spec.max_value)
+
+    def test_range_ops_count_tuples(self, data):
+        keys, values = data
+        tree = RegularCpuBPlusTree(keys, values)
+        trace = synthesize_trace(keys, 400, read_ratio=1.0,
+                                 range_share=0.5, seed=13)
+        stats = replay_trace(trace, tree)
+        assert stats.ranges > 0
+        assert stats.range_tuples >= stats.ranges

@@ -1,0 +1,97 @@
+"""Regression tests for uint64 precision hazards.
+
+Two numpy pitfalls bit this codebase (both found by testing):
+
+1. ``np.asarray`` on a Python-int list mixing values above int64's
+   range silently promotes to float64, collapsing keys that differ
+   only below 2**53;
+2. ``np.searchsorted(uint64_array, python_int)`` compares as float64,
+   returning the wrong slot for near-equal large keys — which once
+   corrupted the leaf order of the regular tree during trace replay.
+
+Every tree type is exercised with adversarial keys that differ only in
+their low bits, above 2**53.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gpu_update import GpuAssistedUpdater
+from repro.core.hbtree import HBPlusTree
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.cpu.btree_regular import RegularCpuBPlusTree
+from repro.cpu.css_tree import CssTree
+from repro.cpu.fast_tree import FastTree
+
+BASE = 666103390327571400  # > 2**53: float64 cannot tell these apart
+ADVERSARIAL = [BASE + d for d in (0, 15, 16, 17, 66, 81, 82)]
+
+
+class TestAdversarialKeys:
+    @pytest.mark.parametrize("cls", [
+        ImplicitCpuBPlusTree, RegularCpuBPlusTree, CssTree, FastTree,
+    ])
+    def test_build_and_lookup(self, cls):
+        values = [k % 1000 for k in ADVERSARIAL]
+        tree = cls(ADVERSARIAL, values)
+        for k, v in zip(ADVERSARIAL, values):
+            assert tree.lookup(k, instrument=False) == v
+        # near-misses must NOT be found
+        assert tree.lookup(BASE + 1, instrument=False) is None
+        assert tree.lookup(BASE + 80, instrument=False) is None
+
+    def test_regular_insert_keeps_order(self):
+        """The exact failure mode: inserting a key that differs from a
+        neighbour only below float64 precision must land in order."""
+        tree = RegularCpuBPlusTree(ADVERSARIAL,
+                                   [0] * len(ADVERSARIAL))
+        tree.insert(BASE + 81 - 15, 7)  # between existing keys
+        tree.check_invariants()
+        items = [k for k, _v in tree.items()]
+        assert items == sorted(items)
+        assert tree.lookup(BASE + 81 - 15) == 7
+
+    def test_regular_delete_precise(self):
+        tree = RegularCpuBPlusTree(ADVERSARIAL, [1] * len(ADVERSARIAL))
+        assert tree.delete(BASE + 16)
+        assert tree.lookup(BASE + 16) is None
+        assert tree.lookup(BASE + 15) == 1
+        assert tree.lookup(BASE + 17) == 1
+        tree.check_invariants()
+
+    def test_regular_range_precise_bounds(self):
+        tree = RegularCpuBPlusTree(ADVERSARIAL, [1] * len(ADVERSARIAL))
+        got = tree.range_query(BASE + 16, BASE + 66)
+        assert [k for k, _v in got] == [BASE + 16, BASE + 17, BASE + 66]
+
+    def test_css_range_precise_bounds(self):
+        tree = CssTree(ADVERSARIAL, [1] * len(ADVERSARIAL))
+        got = tree.range_query(BASE + 16, BASE + 66)
+        assert [k for k, _v in got] == [BASE + 16, BASE + 17, BASE + 66]
+
+    def test_gpu_assisted_update_precise(self, m1):
+        # a bigger tree so the GPU path really runs
+        rng = np.random.default_rng(3)
+        filler = rng.choice(2**40, 2000, replace=False).astype(np.uint64)
+        keys = np.concatenate([
+            filler, np.asarray(ADVERSARIAL, dtype=np.uint64)
+        ])
+        tree = HBPlusTree(keys, keys, machine=m1, fill=0.7)
+        new_key = BASE + 50
+        GpuAssistedUpdater(tree).apply([new_key], [9])
+        tree.cpu_tree.check_invariants()
+        assert tree.lookup(new_key) == 9
+        assert tree.lookup(BASE + 17) == BASE + 17
+
+    def test_dense_collision_window(self):
+        """64 consecutive keys above 2**60 — every pair collides in
+        float64 — must all round trip through random inserts."""
+        tree = RegularCpuBPlusTree()
+        start = (1 << 60) + 12345
+        keys = [start + i for i in range(64)]
+        rng = np.random.default_rng(5)
+        for k in rng.permutation(keys).tolist():
+            tree.insert(int(k), int(k) % 97)
+        tree.check_invariants()
+        for k in keys:
+            assert tree.lookup(k) == k % 97

@@ -1,0 +1,103 @@
+"""Self-validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.hbtree import HBPlusTree
+from repro.core.hbtree_implicit import ImplicitHBPlusTree
+from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
+from repro.cpu.btree_regular import RegularCpuBPlusTree
+from repro.cpu.css_tree import CssTree
+from repro.cpu.fast_tree import FastTree
+from repro.validate import ValidationError, validate_index
+from repro.workloads.generators import generate_dataset
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_dataset(2500, seed=81)
+
+
+class TestHealthyTreesValidate:
+    def test_implicit(self, data):
+        keys, values = data
+        validate_index(ImplicitCpuBPlusTree(keys, values))
+
+    def test_regular(self, data):
+        keys, values = data
+        tree = RegularCpuBPlusTree(keys, values)
+        tree.insert(int(keys.max()) + 1, 5)
+        validate_index(tree)
+
+    def test_css(self, data):
+        keys, values = data
+        validate_index(CssTree(keys, values))
+
+    def test_fast(self, data):
+        keys, values = data
+        validate_index(FastTree(keys, values))
+
+    def test_hybrid_implicit(self, data, m1):
+        keys, values = data
+        validate_index(ImplicitHBPlusTree(keys, values, machine=m1))
+
+    def test_hybrid_regular(self, data, m1):
+        keys, values = data
+        validate_index(HBPlusTree(keys, values, machine=m1))
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError):
+            validate_index(object())
+
+
+class TestCorruptionDetected:
+    def test_implicit_unsorted_leaf(self, data):
+        keys, values = data
+        tree = ImplicitCpuBPlusTree(keys, values)
+        tree.leaf_keys[0, 0], tree.leaf_keys[0, 1] = (
+            tree.leaf_keys[0, 1].copy(), tree.leaf_keys[0, 0].copy()
+        )
+        with pytest.raises(ValidationError):
+            validate_index(tree)
+
+    def test_implicit_inner_corruption(self, data):
+        keys, values = data
+        tree = ImplicitCpuBPlusTree(keys, values)
+        tree.inner_levels[0][0, 0] = tree.spec.max_value - 1
+        tree.inner_levels[0][0, 1] = 0  # now unsorted
+        with pytest.raises(ValidationError):
+            validate_index(tree)
+
+    def test_regular_broken_chain(self, data):
+        keys, values = data
+        tree = RegularCpuBPlusTree(keys, values)
+        size = int(tree.leaves.size[tree._first_leaf])
+        tree.leaves.keys[tree._first_leaf, 0] = tree.leaves.keys[
+            tree._first_leaf, size - 1
+        ]
+        with pytest.raises(ValidationError):
+            validate_index(tree)
+
+    def test_css_corrupted_data(self, data):
+        keys, values = data
+        tree = CssTree(keys, values)
+        tree.sorted_keys[5] = tree.sorted_keys[4]
+        with pytest.raises(ValidationError):
+            validate_index(tree)
+
+    def test_hybrid_stale_mirror(self, data, m1):
+        """A mirror that no longer matches the CPU tree must be caught
+        — the failure mode the synchronized updater exists to avoid."""
+        keys, values = data
+        tree = ImplicitHBPlusTree(keys, values, machine=m1)
+        new_keys, new_values = generate_dataset(2500, seed=82)
+        tree.cpu_tree.rebuild(new_keys, new_values)  # no mirror refresh!
+        with pytest.raises(ValidationError):
+            validate_index(tree)
+
+    def test_hybrid_mirror_bitflip(self, data, m1):
+        keys, values = data
+        tree = ImplicitHBPlusTree(keys, values, machine=m1)
+        tree.iseg_buffer.array[0] += np.uint64(1)
+        with pytest.raises(ValidationError):
+            validate_index(tree)

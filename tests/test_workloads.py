@@ -1,0 +1,182 @@
+"""Workload generators (section 6.1, Fig 12 distributions)."""
+
+import numpy as np
+import pytest
+
+from repro.keys import KEY32, KEY64
+from repro.workloads.generators import (
+    DISTRIBUTIONS,
+    generate_dataset,
+    generate_skewed_queries,
+    knuth_shuffle,
+)
+from repro.workloads.queries import (
+    make_insert_batch,
+    make_point_queries,
+    make_range_queries,
+    make_update_mix,
+)
+
+
+class TestGenerateDataset:
+    def test_size_and_uniqueness(self):
+        keys, values = generate_dataset(5000)
+        assert len(keys) == len(values) == 5000
+        assert len(np.unique(keys)) == 5000
+
+    def test_keys_below_sentinel(self):
+        keys, _v = generate_dataset(1000)
+        assert int(keys.max()) < KEY64.max_value
+
+    def test_dtype_64(self):
+        keys, values = generate_dataset(100)
+        assert keys.dtype == np.uint64
+        assert values.dtype == np.uint64
+
+    def test_dtype_32(self):
+        keys, values = generate_dataset(100, key_bits=32)
+        assert keys.dtype == np.uint32
+        assert int(keys.max()) < KEY32.max_value
+
+    def test_deterministic_per_seed(self):
+        a, _ = generate_dataset(100, seed=5)
+        b, _ = generate_dataset(100, seed=5)
+        c, _ = generate_dataset(100, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            generate_dataset(0)
+
+    def test_roughly_uniform(self):
+        keys, _v = generate_dataset(20000)
+        # median near the domain middle (loose check)
+        mid = KEY64.max_value // 2
+        med = int(np.median(keys))
+        assert 0.4 * mid < med < 1.6 * mid
+
+
+class TestKnuthShuffle:
+    def test_is_permutation(self):
+        arr = np.arange(500)
+        out = knuth_shuffle(arr)
+        assert sorted(out.tolist()) == arr.tolist()
+
+    def test_does_not_mutate_input(self):
+        arr = np.arange(100)
+        knuth_shuffle(arr)
+        assert np.array_equal(arr, np.arange(100))
+
+    def test_actually_shuffles(self):
+        arr = np.arange(500)
+        out = knuth_shuffle(arr)
+        assert not np.array_equal(out, arr)
+
+    def test_deterministic(self):
+        arr = np.arange(100)
+        assert np.array_equal(knuth_shuffle(arr, seed=3),
+                              knuth_shuffle(arr, seed=3))
+
+
+class TestSkewedQueries:
+    @pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+    def test_within_domain(self, dist):
+        q = generate_skewed_queries(dist, 2000)
+        assert q.dtype == np.uint64
+        assert int(q.max()) < KEY64.max_value
+
+    def test_zipf_heavily_skewed(self):
+        q = generate_skewed_queries("zipf", 5000).astype(np.float64)
+        u = generate_skewed_queries("uniform", 5000).astype(np.float64)
+        # Zipf mass concentrates near the bottom of the domain
+        assert np.median(q) < np.median(u) / 4
+
+    def test_normal_centered(self):
+        q = generate_skewed_queries("normal", 5000).astype(np.float64)
+        center = float(KEY64.max_value) / 2
+        assert abs(np.mean(q) - center) < 0.15 * float(KEY64.max_value)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            generate_skewed_queries("cauchy", 10)
+
+    def test_32bit(self):
+        q = generate_skewed_queries("gamma", 100, key_bits=32)
+        assert q.dtype == np.uint32
+
+
+class TestPointQueries:
+    def test_queries_drawn_from_keys(self):
+        keys, _v = generate_dataset(2000)
+        q = make_point_queries(keys, 500)
+        assert set(q.tolist()) <= set(keys.tolist())
+
+    def test_wraps_when_longer_than_dataset(self):
+        keys, _v = generate_dataset(100)
+        q = make_point_queries(keys, 250)
+        assert len(q) == 250
+
+    def test_large_dataset_sampled(self):
+        keys, _v = generate_dataset(50_000)
+        q = make_point_queries(keys, 100)
+        assert len(q) == 100
+        assert set(q.tolist()) <= set(keys.tolist())
+
+
+class TestRangeQueries:
+    def test_window_matches_count(self):
+        keys, _v = generate_dataset(2000)
+        sk = np.sort(keys)
+        ranges = make_range_queries(keys, 50, 8)
+        lookup = sk.tolist()
+        for lo, hi in ranges:
+            inside = [k for k in lookup if lo <= k <= hi]
+            assert len(inside) == 8
+
+    def test_single_match(self):
+        keys, _v = generate_dataset(500)
+        for lo, hi in make_range_queries(keys, 20, 1):
+            assert lo == hi
+
+    def test_invalid_matches(self):
+        keys, _v = generate_dataset(100)
+        with pytest.raises(ValueError):
+            make_range_queries(keys, 5, 0)
+        with pytest.raises(ValueError):
+            make_range_queries(keys, 5, 200)
+
+
+class TestInsertBatch:
+    def test_disjoint_from_existing(self):
+        keys, _v = generate_dataset(3000)
+        nk, nv = make_insert_batch(keys, 500)
+        assert len(nk) == len(nv) == 500
+        assert not set(nk.tolist()) & set(keys.tolist())
+        assert len(np.unique(nk)) == 500
+
+
+class TestUpdateMix:
+    def test_ratio(self):
+        keys, _v = generate_dataset(2000)
+        mix = make_update_mix(keys, 1000, 0.25)
+        assert len(mix) == 1000
+        assert mix.update_ratio == pytest.approx(0.25, abs=0.01)
+        assert len(mix.update_keys) == 250
+        assert len(mix.search_keys) == 750
+
+    def test_pure_search(self):
+        keys, _v = generate_dataset(500)
+        mix = make_update_mix(keys, 100, 0.0)
+        assert len(mix.update_keys) == 0
+        assert mix.update_ratio == 0.0
+
+    def test_pure_update(self):
+        keys, _v = generate_dataset(500)
+        mix = make_update_mix(keys, 100, 1.0)
+        assert len(mix.update_keys) == 100
+
+    def test_invalid_ratio(self):
+        keys, _v = generate_dataset(100)
+        with pytest.raises(ValueError):
+            make_update_mix(keys, 10, 1.5)
