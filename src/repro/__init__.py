@@ -36,7 +36,14 @@ from repro.core.hbtree import HBPlusTree
 from repro.core.hbtree_implicit import ImplicitHBPlusTree
 from repro.core.load_balance import LoadBalancer
 from repro.core.pipeline import BucketStrategy, PipelineSimulator
+from repro.core.resilience import (
+    GpuUnavailable,
+    ResilienceConfig,
+    ResilienceStats,
+    ResilientHBPlusTree,
+)
 from repro.core.update import AsyncBatchUpdater, SyncUpdater
+from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
 from repro.cpu.btree_regular import RegularCpuBPlusTree
 from repro.cpu.css_tree import CssTree
@@ -60,6 +67,13 @@ __version__ = "1.0.0"
 __all__ = [
     "HBPlusTree",
     "ImplicitHBPlusTree",
+    "ResilientHBPlusTree",
+    "ResilienceConfig",
+    "ResilienceStats",
+    "GpuUnavailable",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultKind",
     "LoadBalancer",
     "HybridFramework",
     "HybridPlan",

@@ -3,9 +3,25 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 Row = Dict[str, Any]
+
+
+def stats_row(
+    snapshot: Dict[str, Any],
+    keys: Optional[Sequence[str]] = None,
+    prefix: str = "",
+) -> Row:
+    """Turn a stats ``snapshot()`` dict into table columns.
+
+    ``keys`` selects (and orders) a subset; ``prefix`` namespaces the
+    column names when one row merges several stats objects.
+    """
+    selected = snapshot if keys is None else {
+        k: snapshot[k] for k in keys
+    }
+    return {f"{prefix}{k}": v for k, v in selected.items()}
 
 
 @dataclass

@@ -7,7 +7,10 @@
   scheduling strategies (section 5.4, Figs 5-6),
 * :mod:`repro.core.load_balance` — the D/R load balancing scheme and
   its discovery algorithm (section 5.5, Algorithm 1),
-* :mod:`repro.core.update` — batch update execution (section 5.6).
+* :mod:`repro.core.update` — batch update execution (section 5.6),
+* :mod:`repro.core.resilience` — fault-tolerant execution: retries,
+  mirror checksum repair, circuit-breaker degradation to CPU-only
+  service and recovery (beyond the paper; see DESIGN.md §7).
 """
 
 from repro.core.buckets import iter_buckets, num_buckets
@@ -15,6 +18,13 @@ from repro.core.hbtree import HBPlusTree
 from repro.core.hbtree_implicit import ImplicitHBPlusTree
 from repro.core.load_balance import DiscoveryResult, LoadBalancer
 from repro.core.pipeline import BucketStrategy, PipelineSimulator
+from repro.core.resilience import (
+    CircuitBreaker,
+    GpuUnavailable,
+    ResilienceConfig,
+    ResilienceStats,
+    ResilientHBPlusTree,
+)
 from repro.core.update import (
     AsyncBatchUpdater,
     ImplicitRebuildStats,
@@ -25,6 +35,11 @@ from repro.core.update import (
 __all__ = [
     "HBPlusTree",
     "ImplicitHBPlusTree",
+    "ResilientHBPlusTree",
+    "ResilienceConfig",
+    "ResilienceStats",
+    "CircuitBreaker",
+    "GpuUnavailable",
     "iter_buckets",
     "num_buckets",
     "BucketStrategy",

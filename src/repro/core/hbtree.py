@@ -73,6 +73,7 @@ class HBPlusTree:
         page_config: PageConfig = PageConfig.HUGE_SMALL,
         algorithm: NodeSearchAlgorithm = NodeSearchAlgorithm.HIERARCHICAL_SIMD,
         fill: float = 1.0,
+        injector=None,
     ):
         if machine is None:
             raise ValueError("HBPlusTree requires a MachineConfig")
@@ -91,7 +92,24 @@ class HBPlusTree:
             segment_prefix="hb_regular",
             fill=fill,
         )
+        #: :class:`repro.faults.FaultInjector`, or None.  Attached
+        #: *after* the initial mirror so a tree is always born
+        #: consistent; faults hit operation, not construction.
+        self.injector = None
+        #: True whenever the GPU mirror may disagree with the CPU tree
+        #: (a sync was interrupted mid-flight); cleared by a successful
+        #: full :meth:`mirror_i_segment`
+        self.mirror_stale = False
         self.mirror_i_segment()
+        if injector is not None:
+            self.attach_injector(injector)
+
+    def attach_injector(self, injector) -> None:
+        """Thread a :class:`repro.faults.FaultInjector` through the
+        PCIe link, the GPU device, and this tree's sync path."""
+        self.injector = injector
+        self.link.injector = injector
+        self.device.injector = injector
 
     # ------------------------------------------------------------------
     # GPU mirror
@@ -116,8 +134,9 @@ class HBPlusTree:
         out[kpl + fanout:] = pool.refs[node].astype(np.uint64)
         return out
 
-    def mirror_i_segment(self) -> float:
-        """Rebuild + upload the full I-segment mirror; returns time ns."""
+    def pack_i_segment(self) -> np.ndarray:
+        """The device image of the full I-segment, packed from the CPU
+        tree (the source of truth).  Does not touch the GPU."""
         tree = self.cpu_tree
         upper_n = tree.upper.count
         last_n = tree.last.count
@@ -132,9 +151,24 @@ class HBPlusTree:
             flat[slot * stride: (slot + 1) * stride] = self._pack_node(
                 tree.last, node
             )
-        self.last_base = upper_n
+        return flat
+
+    def mirror_i_segment(self) -> float:
+        """Rebuild + upload the full I-segment mirror; returns time ns.
+
+        On an injected :class:`~repro.faults.SyncInterrupted` or
+        transfer fault the old mirror stays in device memory and
+        ``mirror_stale`` remains True — the hazard the resilience layer
+        (:mod:`repro.core.resilience`) exists to repair.
+        """
+        self.mirror_stale = True
+        if self.injector is not None:
+            self.injector.on_sync()
+        flat = self.pack_i_segment()
+        self.last_base = self.cpu_tree.upper.count
         t = self.link.to_device(self.device.memory, "iseg_regular", flat)
         self.iseg_buffer = self.device.memory.get("iseg_regular")
+        self.mirror_stale = False
         return t
 
     def sync_node(self, level: int, node: int) -> float:
@@ -153,9 +187,13 @@ class HBPlusTree:
             return self.mirror_i_segment()
         pool = tree.last if level == 0 else tree.upper
         packed = self._pack_node(pool, node)
-        return self.link.update_device(
+        was_stale = self.mirror_stale
+        self.mirror_stale = True
+        t = self.link.update_device(
             self.device.memory, "iseg_regular", packed, offset_elems=slot * stride
         )
+        self.mirror_stale = was_stale
+        return t
 
     @property
     def i_segment_bytes(self) -> int:
@@ -175,6 +213,7 @@ class HBPlusTree:
     def gpu_search_bucket(self, queries: np.ndarray) -> GpuSearchResult:
         """Stage 2: 3-step descent of all inner levels on the GPU."""
         q = np.asarray(queries, dtype=self.spec.dtype)
+        self.device.begin_launch()
         codes, txns = regular_search_vectorized(
             self.iseg_buffer.array,
             self.node_stride,
@@ -186,7 +225,6 @@ class HBPlusTree:
             q,
             teams_per_warp=self.teams_per_warp,
         )
-        self.device.kernel_launches += 1
         self.device.memory.counters.transactions_64 += txns
         self.device.memory.counters.bytes_moved += txns * 64
         return GpuSearchResult(codes=codes, transactions=txns)

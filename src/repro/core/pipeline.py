@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.platform.costmodel import BucketCosts
 
@@ -44,6 +44,11 @@ class BucketTimeline:
     t2_end: float
     t3_end: float
     t4_end: float
+    #: queries actually carried by this bucket; ``None`` means a full
+    #: bucket.  A partial final bucket still occupies a whole buffer
+    #: slot (device buffers are fixed-size, the tail is padded), so its
+    #: timing is a full bucket's — only its query count differs.
+    queries: Optional[int] = None
 
     @property
     def completion(self) -> float:
@@ -66,9 +71,16 @@ class PipelineRun:
         return max(t.completion for t in self.timelines)
 
     @property
+    def total_queries(self) -> int:
+        """Queries actually carried, partial final bucket included."""
+        return sum(
+            self.bucket_size if t.queries is None else t.queries
+            for t in self.timelines
+        )
+
+    @property
     def throughput_qps(self) -> float:
-        queries = self.bucket_size * len(self.timelines)
-        return queries * 1e9 / self.makespan_ns
+        return self.total_queries * 1e9 / self.makespan_ns
 
     @property
     def mean_latency_ns(self) -> float:
@@ -128,6 +140,23 @@ class PipelineSimulator:
         else:
             timelines = self._run_overlapped(n_buckets, transfer_hidden=True)
         return PipelineRun(timelines=timelines, bucket_size=self.bucket_size)
+
+    def run_queries(self, n_queries: int) -> PipelineRun:
+        """Play exactly ``n_queries`` through the schedule.
+
+        A trailing partial bucket pays a full bucket's time (fixed-size
+        buffers) but counts only its real queries, so
+        :attr:`PipelineRun.throughput_qps` no longer overcounts when
+        the workload is not a bucket multiple.
+        """
+        if n_queries <= 0:
+            raise ValueError("need at least one query")
+        n_buckets = -(-n_queries // self.bucket_size)
+        run = self.run(n_buckets)
+        remainder = n_queries - (n_buckets - 1) * self.bucket_size
+        if remainder != self.bucket_size:
+            run.timelines[-1].queries = remainder
+        return run
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,582 @@
+"""Resilient heterogeneous execution for the regular HB+-tree.
+
+The HB+-tree's hybrid search path assumes the GPU, the PCIe link and
+the I-segment mirror are perfect.  This layer removes that assumption
+while preserving the tree's one hard guarantee: **faults may cost time,
+never correctness**.
+
+Mechanisms (bottom-up):
+
+* **retry with exponential backoff + jitter** for PCIe transfers
+  (failures and timeouts), with every wasted nanosecond accounted;
+* **bounded kernel timeout with relaunch** — a hung kernel is charged
+  its watchdog budget and relaunched, a failed launch retried;
+* **checksum verification + targeted repair** of the I-segment mirror:
+  the expected image is recomputed from the CPU tree (the source of
+  truth), compared by CRC before every hybrid batch, and corrupted
+  nodes are individually re-uploaded;
+* **stale-mirror repair** — an interrupted sync leaves
+  ``HBPlusTree.mirror_stale`` set; the mirror is re-uploaded before the
+  GPU is allowed to serve again;
+* **circuit breaker** — after repeated batch-level GPU failures the
+  tree degrades to the existing CPU-only search path (the
+  :class:`~repro.core.framework.HybridFramework` cpu-only mode /
+  appendix B.1), then periodically probes the GPU and recovers by
+  re-mirroring the I-segment.
+
+All modeled time (base bucket costs, backoff, watchdog budgets, repair
+transfers) accumulates in :class:`ResilienceStats`, from which the
+fault-rate sweep in ``benchmarks/bench_fault_resilience.py`` derives
+its throughput numbers.
+"""
+
+from __future__ import annotations
+
+import zlib
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.framework import RegularHBAdapter
+from repro.core.hbtree import GpuSearchResult, HBPlusTree
+from repro.core.update import AsyncBatchUpdater, SyncUpdater, UpdateStats
+from repro.faults import (
+    FaultError,
+    FaultInjector,
+    KernelHang,
+    KernelLaunchFault,
+    TransferTimeout,
+)
+from repro.platform.costmodel import CpuCostModel, HYBRID_STAGE_OVERHEAD_NS
+
+
+class GpuUnavailable(RuntimeError):
+    """Raised internally when retries are exhausted; the circuit
+    breaker translates it into CPU-only degradation."""
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the resilience layer (all times in ns)."""
+
+    #: attempts per transfer (first try + retries)
+    max_transfer_retries: int = 4
+    #: attempts per kernel launch
+    max_kernel_retries: int = 3
+    #: base backoff before the first retry
+    backoff_base_ns: float = 2_000.0
+    backoff_multiplier: float = 2.0
+    #: jitter fraction added on top of the deterministic backoff
+    backoff_jitter: float = 0.25
+    #: watchdog budget charged when a transfer times out
+    transfer_timeout_ns: float = 50_000.0
+    #: watchdog budget charged when a kernel hangs
+    kernel_timeout_ns: float = 100_000.0
+    #: verify the mirror CRC before every hybrid batch
+    verify_checksum: bool = True
+    #: consecutive batch-level GPU failures that open the breaker
+    breaker_threshold: int = 3
+    #: degraded batches between recovery probes
+    probe_interval: int = 16
+    #: flat watchdog budget charged for a *failed* recovery probe: the
+    #: probe runs in a reserved side slot, so its cost is the slot, not
+    #: however quickly the GPU happened to die this time (this keeps the
+    #: degraded-mode overhead independent of the fault rate)
+    probe_budget_ns: float = 150_000.0
+    #: fixed handling cost charged per caught fault (interrupt + error
+    #: path bookkeeping); also what makes throughput decay monotone in
+    #: the fault rate — the fault *count* grows with the rate even when
+    #: the service-mode mix does not
+    fault_overhead_ns: float = 1_000.0
+    #: EWMA smoothing of the measured per-query hybrid cost
+    ema_alpha: float = 0.4
+    #: open the breaker when the hybrid EWMA exceeds ``margin`` times
+    #: the CPU-only per-query cost (economic degradation: limping on a
+    #: faulty GPU must never be slower than not using it)
+    degrade_margin: float = 1.0
+    #: hybrid batches measured before economic degradation may trigger
+    min_ema_samples: int = 2
+    #: seed of the backoff-jitter stream (independent of the fault plan)
+    seed: int = 0
+
+    def backoff_ns(self, attempt: int, jitter_u: float) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered."""
+        base = self.backoff_base_ns * self.backoff_multiplier ** attempt
+        return base * (1.0 + self.backoff_jitter * jitter_u)
+
+
+@dataclass
+class ResilienceStats:
+    """Every fault/retry/degradation event, counted; plus modeled time."""
+
+    batches: int = 0
+    served_hybrid: int = 0
+    served_cpu: int = 0
+    #: total modeled serving time (base costs + every penalty below)
+    served_ns: float = 0.0
+    #: modeled time lost to faults (backoff + watchdogs + repairs);
+    #: already included in ``served_ns``
+    penalty_ns: float = 0.0
+    backoff_ns: float = 0.0
+    timeout_ns: float = 0.0
+    repair_transfer_ns: float = 0.0
+    transfer_retries: int = 0
+    kernel_retries: int = 0
+    mirror_refreshes: int = 0
+    checksum_failures: int = 0
+    repaired_nodes: int = 0
+    gpu_batch_failures: int = 0
+    degradations: int = 0
+    #: degradations triggered by the cost comparison (limping hybrid
+    #: costlier than CPU-only), a subset of ``degradations``
+    economic_degradations: int = 0
+    #: individual injected faults absorbed by a retry/repair path
+    faults_handled: int = 0
+    probes: int = 0
+    recoveries: int = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of all counters (for tables and replay checks)."""
+        return {
+            "batches": self.batches,
+            "served_hybrid": self.served_hybrid,
+            "served_cpu": self.served_cpu,
+            "served_ns": round(self.served_ns, 3),
+            "penalty_ns": round(self.penalty_ns, 3),
+            "backoff_ns": round(self.backoff_ns, 3),
+            "timeout_ns": round(self.timeout_ns, 3),
+            "repair_transfer_ns": round(self.repair_transfer_ns, 3),
+            "transfer_retries": self.transfer_retries,
+            "kernel_retries": self.kernel_retries,
+            "mirror_refreshes": self.mirror_refreshes,
+            "checksum_failures": self.checksum_failures,
+            "repaired_nodes": self.repaired_nodes,
+            "gpu_batch_failures": self.gpu_batch_failures,
+            "degradations": self.degradations,
+            "economic_degradations": self.economic_degradations,
+            "faults_handled": self.faults_handled,
+            "probes": self.probes,
+            "recoveries": self.recoveries,
+        }
+
+    @property
+    def served_queries(self) -> int:
+        return self.served_hybrid + self.served_cpu
+
+    def throughput_qps(self) -> float:
+        """Modeled end-to-end throughput over everything served."""
+        if self.served_ns <= 0:
+            return float("inf") if self.served_queries else 0.0
+        return self.served_queries * 1e9 / self.served_ns
+
+
+class CircuitBreaker:
+    """Counts consecutive GPU failures; opens after ``threshold``."""
+
+    def __init__(self, threshold: int, probe_interval: int):
+        if threshold < 1 or probe_interval < 1:
+            raise ValueError("threshold and probe_interval must be >= 1")
+        self.threshold = threshold
+        self.probe_interval = probe_interval
+        self.consecutive_failures = 0
+        self.open = False
+        self.degraded_batches = 0
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True when this opened the circuit."""
+        self.consecutive_failures += 1
+        if not self.open and self.consecutive_failures >= self.threshold:
+            self.open = True
+            self.degraded_batches = 0
+            return True
+        return False
+
+    def trip(self) -> None:
+        """Open the circuit directly (economic degradation)."""
+        self.open = True
+        self.consecutive_failures = 0
+        self.degraded_batches = 0
+
+    def note_degraded_batch(self) -> bool:
+        """Count one degraded batch; True when a probe is due."""
+        self.degraded_batches += 1
+        return self.degraded_batches % self.probe_interval == 0
+
+    def close(self) -> None:
+        self.open = False
+        self.consecutive_failures = 0
+        self.degraded_batches = 0
+
+
+def _crc(array: np.ndarray) -> int:
+    return zlib.crc32(array.tobytes())
+
+
+class ResilientHBPlusTree:
+    """Fault-tolerant wrapper around a regular :class:`HBPlusTree`.
+
+    All lookups flow through :meth:`lookup_batch`; it serves from the
+    hybrid CPU-GPU path while the GPU is healthy and from the CPU-only
+    path when the circuit breaker is open, repairing the mirror and
+    probing for recovery along the way.  Updates flow through
+    :meth:`apply_updates`, which restores mirror consistency no matter
+    where a fault interrupts the sync.
+    """
+
+    def __init__(
+        self,
+        tree: HBPlusTree,
+        injector: Optional[FaultInjector] = None,
+        config: Optional[ResilienceConfig] = None,
+    ):
+        self.tree = tree
+        self.config = config or ResilienceConfig()
+        self.stats = ResilienceStats()
+        self.breaker = CircuitBreaker(
+            self.config.breaker_threshold, self.config.probe_interval
+        )
+        if injector is not None:
+            tree.attach_injector(injector)
+        self.injector = tree.injector
+        self.adapter = RegularHBAdapter(tree)
+        self._jitter_rng = np.random.default_rng(
+            [self.config.seed & 0x7FFFFFFF, 0x0BAC0FF]
+        )
+        #: EWMA of the measured per-query cost of hybrid service,
+        #: penalties included; compared against the CPU-only cost to
+        #: decide whether limping on a faulty GPU is still worth it
+        self._hybrid_cost_ema: Optional[float] = None
+        self._ema_samples = 0
+        self._calibrate()
+        self._snapshot_expected()
+
+    # ------------------------------------------------------------------
+    # calibration (fault-free: the injector is paused)
+
+    def _calibrate(self) -> None:
+        """Measure the fault-free base costs the time model charges per
+        batch: hybrid per-bucket cost and CPU-only per-query cost."""
+        ctx = self.injector.paused() if self.injector else nullcontext()
+        with ctx:
+            machine = self.tree.machine
+            rng = np.random.default_rng(11)
+            stored = np.asarray(
+                [k for k, _v in self.tree.cpu_tree.items()],
+                dtype=self.tree.spec.dtype,
+            )
+            sample = rng.choice(stored, size=min(2048, len(stored)))
+            self._probe_queries = sample[:8].copy()
+            costs = self.tree.bucket_costs(sample=sample)
+            self.bucket_size = machine.bucket_size
+            self.hybrid_bucket_ns = costs.double_buffered
+            profiles, leaf = self.adapter.level_profiles(sample)
+            model = CpuCostModel(machine.cpu)
+            per_query = (
+                model.query_ns(leaf) + HYBRID_STAGE_OVERHEAD_NS
+                + sum(model.query_ns(p) for p in profiles)
+            )
+            self.cpu_only_query_ns = per_query / model.threads
+
+    def _snapshot_expected(self) -> None:
+        """Recompute the expected mirror image from the CPU tree."""
+        self._expected = self.tree.pack_i_segment()
+        self._expected_crc = _crc(self._expected)
+
+    # ------------------------------------------------------------------
+    # retry primitives
+
+    def _charge_penalty(self, ns: float) -> None:
+        """Fault-caused time counts both as penalty and as serving time."""
+        self.stats.penalty_ns += ns
+        self.stats.served_ns += ns
+
+    def _backoff(self, attempt: int) -> float:
+        b = self.config.backoff_ns(attempt, float(self._jitter_rng.random()))
+        self.stats.backoff_ns += b
+        self._charge_penalty(b)
+        return b
+
+    def _handle_fault(self) -> None:
+        """Fixed interrupt/error-path cost of absorbing one fault."""
+        self.stats.faults_handled += 1
+        self._charge_penalty(self.config.fault_overhead_ns)
+
+    def _transfer_with_retry(self, fn, *args, **kwargs):
+        """Run one transfer, retrying with backoff on injected faults."""
+        cfg = self.config
+        for attempt in range(cfg.max_transfer_retries):
+            try:
+                return fn(*args, **kwargs)
+            except FaultError as err:
+                self.stats.transfer_retries += 1
+                self._handle_fault()
+                if isinstance(err, TransferTimeout):
+                    self.stats.timeout_ns += cfg.transfer_timeout_ns
+                    self._charge_penalty(cfg.transfer_timeout_ns)
+                if attempt + 1 >= cfg.max_transfer_retries:
+                    raise GpuUnavailable(
+                        f"transfer failed after {cfg.max_transfer_retries} "
+                        f"attempts: {err}"
+                    ) from err
+                self._backoff(attempt)
+
+    # ------------------------------------------------------------------
+    # mirror health
+
+    def _refresh_mirror(self) -> None:
+        """Full I-segment re-upload with retries; refreshes the
+        expected image on success."""
+        t = self._transfer_with_retry(self.tree.mirror_i_segment)
+        self.stats.repair_transfer_ns += t
+        self._charge_penalty(t)
+        self.stats.mirror_refreshes += 1
+        self._snapshot_expected()
+
+    def _repair_corruption(self) -> None:
+        """Compare the device mirror against the expected image and
+        re-upload only the corrupted nodes."""
+        buf = self.tree.iseg_buffer.array
+        expected = self._expected
+        if buf.size != expected.size:
+            # structure drifted (shouldn't happen outside stale windows,
+            # which _ensure_healthy_mirror repairs first) — full refresh
+            self._refresh_mirror()
+            return
+        diff = np.nonzero(buf != expected)[0]
+        if diff.size == 0:
+            return
+        stride = self.tree.node_stride
+        slots = np.unique(diff // stride)
+        for slot in slots.tolist():
+            src = expected[slot * stride: (slot + 1) * stride]
+            t = self._transfer_with_retry(
+                self.tree.link.update_device,
+                self.tree.device.memory,
+                "iseg_regular",
+                src,
+                offset_elems=slot * stride,
+            )
+            self.stats.repair_transfer_ns += t
+            self._charge_penalty(t)
+            self.stats.repaired_nodes += 1
+
+    def _ensure_healthy_mirror(self) -> None:
+        """Make the mirror safe to search: repair staleness, tick the
+        corruption site, verify the checksum, repair what flipped."""
+        if self.tree.mirror_stale:
+            self._refresh_mirror()
+        if self.injector is not None:
+            self.injector.maybe_corrupt(self.tree.iseg_buffer.array)
+        if self.config.verify_checksum:
+            if _crc(self.tree.iseg_buffer.array) != self._expected_crc:
+                self.stats.checksum_failures += 1
+                self._handle_fault()
+                self._repair_corruption()
+
+    # ------------------------------------------------------------------
+    # GPU search with relaunch
+
+    def _gpu_search(self, q: np.ndarray) -> GpuSearchResult:
+        cfg = self.config
+        for attempt in range(cfg.max_kernel_retries):
+            try:
+                return self.tree.gpu_search_bucket(q)
+            except (KernelLaunchFault, KernelHang) as err:
+                self.stats.kernel_retries += 1
+                self._handle_fault()
+                if isinstance(err, KernelHang):
+                    self.stats.timeout_ns += cfg.kernel_timeout_ns
+                    self._charge_penalty(cfg.kernel_timeout_ns)
+                if attempt + 1 >= cfg.max_kernel_retries:
+                    raise GpuUnavailable(
+                        f"kernel failed after {cfg.max_kernel_retries} "
+                        f"attempts: {err}"
+                    ) from err
+                self._backoff(attempt)
+
+    # ------------------------------------------------------------------
+    # serving
+
+    def _serve_cpu_only(self, q: np.ndarray) -> np.ndarray:
+        levels = np.full(len(q), self.adapter.height, dtype=np.int64)
+        codes = self.adapter.cpu_descend(q, levels)
+        out = self.adapter.cpu_finish(q, codes)
+        self.stats.served_cpu += len(q)
+        self.stats.served_ns += len(q) * self.cpu_only_query_ns
+        return out
+
+    def _serve_hybrid(self, q: np.ndarray) -> np.ndarray:
+        result = self._gpu_search(q)
+        out = self.tree.cpu_finish_bucket(q, result.codes)
+        self.stats.served_hybrid += len(q)
+        self.stats.served_ns += (
+            self.hybrid_bucket_ns * len(q) / self.bucket_size
+        )
+        return out
+
+    def _note_hybrid_cost(self, per_query_ns: float) -> None:
+        """Fold one hybrid batch's measured per-query cost into the
+        EWMA; trip the breaker when limping beats not limping."""
+        a = self.config.ema_alpha
+        if self._hybrid_cost_ema is None:
+            self._hybrid_cost_ema = per_query_ns
+        else:
+            self._hybrid_cost_ema = (
+                a * per_query_ns + (1.0 - a) * self._hybrid_cost_ema
+            )
+        self._ema_samples += 1
+        if (
+            not self.breaker.open
+            and self._ema_samples >= self.config.min_ema_samples
+            and self._hybrid_cost_ema
+            > self.config.degrade_margin * self.cpu_only_query_ns
+        ):
+            self.breaker.trip()
+            self.stats.degradations += 1
+            self.stats.economic_degradations += 1
+
+    def _probe_recovery(self) -> bool:
+        """Try to bring the GPU back: re-mirror, then a trial search
+        whose answers are verified against the CPU path.
+
+        A failed probe is charged exactly ``probe_budget_ns``: whatever
+        penalties the attempt incurred are rolled back and replaced by
+        the flat watchdog slot, so degraded-mode overhead does not
+        depend on *how* the GPU is failing.
+        """
+        self.stats.probes += 1
+        pen0 = self.stats.penalty_ns
+        ok = True
+        try:
+            self._refresh_mirror()
+            q = np.asarray(self._probe_queries, dtype=self.tree.spec.dtype)
+            probe = self._gpu_search(q)
+            gpu_ans = self.tree.cpu_finish_bucket(q, probe.codes)
+            cpu_ans = self.adapter.cpu_finish(
+                q,
+                self.adapter.cpu_descend(
+                    q, np.full(len(q), self.adapter.height, dtype=np.int64)
+                ),
+            )
+            ok = bool(np.array_equal(gpu_ans, cpu_ans))
+        except GpuUnavailable:
+            ok = False
+        if not ok:
+            incurred = self.stats.penalty_ns - pen0
+            self._charge_penalty(self.config.probe_budget_ns - incurred)
+            return False
+        self.breaker.close()
+        self._hybrid_cost_ema = None
+        self._ema_samples = 0
+        self.stats.recoveries += 1
+        return True
+
+    def lookup_batch(self, queries: Sequence[int]) -> np.ndarray:
+        """Fault-tolerant batch lookup; sentinel marks not-found.
+
+        Never raises on injected faults and never returns a wrong
+        value: the worst case is CPU-only service at CPU-only speed.
+        """
+        q = np.asarray(queries, dtype=self.tree.spec.dtype)
+        if len(q) == 0:
+            return q.copy()
+        self.stats.batches += 1
+        if self.breaker.open:
+            out = self._serve_cpu_only(q)
+            if self.breaker.note_degraded_batch():
+                self._probe_recovery()
+            return out
+        pen0 = self.stats.penalty_ns
+        try:
+            self._ensure_healthy_mirror()
+            out = self._serve_hybrid(q)
+            self.breaker.record_success()
+            batch_ns = (
+                self.stats.penalty_ns - pen0
+                + self.hybrid_bucket_ns * len(q) / self.bucket_size
+            )
+            self._note_hybrid_cost(batch_ns / len(q))
+            return out
+        except GpuUnavailable:
+            self.stats.gpu_batch_failures += 1
+            if self.breaker.record_failure():
+                self.stats.degradations += 1
+            out = self._serve_cpu_only(q)
+            # a failed hybrid attempt costs its penalties *plus* the
+            # CPU-only fallback — that is its effective hybrid cost
+            batch_ns = (
+                self.stats.penalty_ns - pen0
+                + len(q) * self.cpu_only_query_ns
+            )
+            self._note_hybrid_cost(batch_ns / len(q))
+            return out
+
+    def lookup(self, key: int) -> Optional[int]:
+        out = self.lookup_batch(
+            np.asarray([key], dtype=self.tree.spec.dtype)
+        )
+        val = int(out[0])
+        return None if val == self.tree.spec.max_value else val
+
+    # ------------------------------------------------------------------
+    # updates
+
+    def apply_updates(
+        self,
+        keys: Sequence[int],
+        values: Sequence[int],
+        deletes: Sequence[int] = (),
+        method: str = "async",
+    ) -> UpdateStats:
+        """Apply a batch of updates, restoring mirror consistency even
+        when the sync path faults mid-flight.
+
+        The CPU tree always absorbs every update (it never faults); an
+        interrupted I-segment sync is retried, and on exhaustion the
+        breaker opens — lookups keep serving correctly from the CPU.
+        """
+        if method == "async":
+            updater = AsyncBatchUpdater(self.tree)
+        elif method == "sync":
+            updater = SyncUpdater(self.tree)
+        else:
+            raise ValueError(f"unknown update method: {method!r}")
+        try:
+            stats = updater.apply(keys, values, deletes)
+        except FaultError:
+            # the end-of-batch mirror sync aborted; the CPU tree holds
+            # every update, only the mirror is stale
+            stats = UpdateStats()
+            try:
+                self._refresh_mirror()
+            except GpuUnavailable:
+                self.stats.gpu_batch_failures += 1
+                if self.breaker.record_failure():
+                    self.stats.degradations += 1
+                self._snapshot_expected()
+                return stats
+        self._snapshot_expected()
+        return stats
+
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while the breaker is open (CPU-only service)."""
+        return self.breaker.open
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def __repr__(self) -> str:
+        mode = "cpu-only(degraded)" if self.degraded else "hybrid"
+        return (
+            f"ResilientHBPlusTree(n={len(self.tree)}, mode={mode}, "
+            f"faults_survived={self.stats.gpu_batch_failures}, "
+            f"recoveries={self.stats.recoveries})"
+        )

@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.hbtree import HBPlusTree
+from repro.faults import FaultError
 from repro.platform.costmodel import CpuCostModel, CpuQueryProfile
 
 #: group size of the asynchronous method (section 5.6)
@@ -60,6 +61,9 @@ class UpdateStats:
     modify_ns: float = 0.0
     transfer_ns: float = 0.0
     synced_nodes: int = 0
+    #: per-node pushes aborted by an injected fault; each one forces
+    #: the end-of-batch full mirror rebuild that restores consistency
+    sync_faults: int = 0
 
     @property
     def total_ns(self) -> float:
@@ -239,12 +243,19 @@ class SyncUpdater:
                 structural += 1
             else:
                 # enqueue the modified last-level inner node
-                stats.synced_nodes += 1
-                stats.transfer_ns += self.tree.sync_node(0, node)
+                try:
+                    stats.transfer_ns += self.tree.sync_node(0, node)
+                    stats.synced_nodes += 1
+                except FaultError:
+                    # the push aborted mid-flight; the mirror is stale
+                    # for this node — repair with the full rebuild below
+                    stats.sync_faults += 1
+                    structural += 1
         rebuild_ns = 0.0
         if structural:
-            # splits/merges change node identities: fall back to a full
-            # mirror rebuild, exactly once at the end
+            # splits/merges change node identities (and aborted pushes
+            # leave stale nodes): fall back to a full mirror rebuild,
+            # exactly once at the end
             rebuild_ns = self.tree.mirror_i_segment()
         stats.modify_ns = len(ops) * per_update_ns
         # the synchronizing thread overlaps the modifying thread; only

@@ -1,0 +1,53 @@
+"""Deterministic fault injection for the simulated CPU-GPU platform.
+
+The paper assumes a perfectly reliable GPU, PCIe link and I-segment
+mirror.  A production index cannot: transfers fail or time out, kernel
+launches fail or hang, device memory bits flip, and an interrupted
+I-segment sync leaves a stale mirror that would silently return wrong
+results.  This package injects exactly those faults into the simulated
+substrates (:mod:`repro.gpusim`) — deterministically, so every failure
+scenario replays bit-for-bit from a seed.
+
+* :class:`FaultPlan` — seeded per-site fault rates;
+* :class:`FaultInjector` — draws counter-based decisions (site, op
+  index) -> fault, logs every event, and raises the typed fault
+  exceptions the hooks in :mod:`repro.gpusim.transfer`,
+  :mod:`repro.gpusim.device` and :mod:`repro.core.hbtree` translate
+  into failed operations;
+* :mod:`repro.core.resilience` builds retry / repair / degradation on
+  top.
+
+Determinism uses *common random numbers*: the decision for the N-th
+operation at a site depends only on ``(seed, site, N)``, never on how
+many draws other sites made — so the same plan replays identically, and
+raising a rate strictly grows the fault set (which is what makes the
+fault-rate sweep in ``benchmarks/bench_fault_resilience.py`` decay
+monotonically).
+"""
+
+from repro.faults.plan import (
+    FaultError,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    KernelHang,
+    KernelLaunchFault,
+    SyncInterrupted,
+    TransferFault,
+    TransferTimeout,
+)
+from repro.faults.injector import FaultInjector, FaultStats
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultError",
+    "TransferFault",
+    "TransferTimeout",
+    "KernelLaunchFault",
+    "KernelHang",
+    "SyncInterrupted",
+    "FaultInjector",
+    "FaultStats",
+]

@@ -1,0 +1,228 @@
+"""The injector: counter-based deterministic fault decisions.
+
+Each hook site (``"transfer"``, ``"kernel"``, ``"mirror"``, ``"sync"``)
+keeps its own operation counter.  The decision for the N-th operation
+at a site derives every random draw from ``(plan.seed, site, N)``
+through a counter-based RNG, so:
+
+* replaying the same plan against the same operation sequence yields an
+  *identical* fault schedule (the acceptance criterion),
+* decisions at one site never perturb another site's stream,
+* for a fixed ``(site, N)`` the underlying uniform draw is shared
+  across plans with different rates — raising a rate can only add
+  faults, never move them (common random numbers).
+"""
+
+from __future__ import annotations
+
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    KernelHang,
+    KernelLaunchFault,
+    SyncInterrupted,
+    TransferFault,
+    TransferTimeout,
+)
+
+
+def _site_id(site: str) -> int:
+    """Stable 32-bit id of a site name (Python's hash() is salted)."""
+    return zlib.crc32(site.encode("ascii"))
+
+
+@dataclass
+class FaultStats:
+    """How often each fault kind fired (and how often it could have)."""
+
+    transfer_ops: int = 0
+    kernel_ops: int = 0
+    mirror_ops: int = 0
+    sync_ops: int = 0
+    transfer_fails: int = 0
+    transfer_timeouts: int = 0
+    kernel_fails: int = 0
+    kernel_hangs: int = 0
+    bitflips: int = 0
+    sync_interrupts: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return (
+            self.transfer_fails + self.transfer_timeouts + self.kernel_fails
+            + self.kernel_hangs + self.bitflips + self.sync_interrupts
+        )
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "transfer_ops": self.transfer_ops,
+            "kernel_ops": self.kernel_ops,
+            "mirror_ops": self.mirror_ops,
+            "sync_ops": self.sync_ops,
+            "transfer_fails": self.transfer_fails,
+            "transfer_timeouts": self.transfer_timeouts,
+            "kernel_fails": self.kernel_fails,
+            "kernel_hangs": self.kernel_hangs,
+            "bitflips": self.bitflips,
+            "sync_interrupts": self.sync_interrupts,
+            "total_faults": self.total_faults,
+        }
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into fault decisions at hook sites.
+
+    The injector is passive: the instrumented components
+    (:class:`repro.gpusim.transfer.PcieLink`,
+    :class:`repro.gpusim.device.GpuDevice`,
+    :class:`repro.core.hbtree.HBPlusTree`) call its ``on_*`` hooks and
+    translate raised :class:`~repro.faults.plan.FaultError` subclasses
+    into failed operations.  ``active`` gates everything — a paused or
+    disabled injector never fires (used while building a tree, during
+    cost-model sampling, and to model "faults cleared" recovery).
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.active = True
+        self.stats = FaultStats()
+        self.events: List[FaultEvent] = []
+        self._op_counts: Dict[str, int] = {}
+
+    # -- lifecycle ------------------------------------------------------
+
+    def disable(self) -> None:
+        """Stop injecting (models the fault condition clearing)."""
+        self.active = False
+
+    def enable(self) -> None:
+        self.active = True
+
+    @contextmanager
+    def paused(self):
+        """Temporarily suppress injection (planning, calibration)."""
+        prev = self.active
+        self.active = False
+        try:
+            yield self
+        finally:
+            self.active = prev
+
+    # -- deterministic draws --------------------------------------------
+
+    def _next_index(self, site: str) -> int:
+        n = self._op_counts.get(site, 0)
+        self._op_counts[site] = n + 1
+        return n
+
+    def _rng(self, site: str, index: int) -> np.random.Generator:
+        return np.random.default_rng(
+            [self.plan.seed & 0x7FFFFFFF, _site_id(site), index]
+        )
+
+    def _record(self, kind: FaultKind, site: str, index: int,
+                detail: tuple = ()) -> None:
+        self.events.append(FaultEvent(kind, site, index, detail))
+
+    # -- hook sites -----------------------------------------------------
+
+    def on_transfer(self, nbytes: int, site: str = "transfer") -> None:
+        """Called by the PCIe link before moving ``nbytes``.
+
+        Raises :class:`TransferFault` or :class:`TransferTimeout`.
+        """
+        if not self.active:
+            return
+        self.stats.transfer_ops += 1
+        index = self._next_index(site)
+        rng = self._rng(site, index)
+        u_fail, u_timeout = rng.random(), rng.random()
+        if u_fail < self.plan.transfer_fail:
+            self.stats.transfer_fails += 1
+            self._record(FaultKind.TRANSFER_FAIL, site, index, (nbytes,))
+            raise TransferFault(site, index)
+        if u_timeout < self.plan.transfer_timeout:
+            self.stats.transfer_timeouts += 1
+            self._record(FaultKind.TRANSFER_TIMEOUT, site, index, (nbytes,))
+            raise TransferTimeout(site, index)
+
+    def on_kernel_launch(self, site: str = "kernel") -> None:
+        """Called before a kernel launch.
+
+        Raises :class:`KernelLaunchFault` or :class:`KernelHang`.
+        """
+        if not self.active:
+            return
+        self.stats.kernel_ops += 1
+        index = self._next_index(site)
+        rng = self._rng(site, index)
+        u_fail, u_hang = rng.random(), rng.random()
+        if u_fail < self.plan.kernel_fail:
+            self.stats.kernel_fails += 1
+            self._record(FaultKind.KERNEL_FAIL, site, index)
+            raise KernelLaunchFault(site, index)
+        if u_hang < self.plan.kernel_hang:
+            self.stats.kernel_hangs += 1
+            self._record(FaultKind.KERNEL_HANG, site, index)
+            raise KernelHang(site, index)
+
+    def on_sync(self, site: str = "sync") -> None:
+        """Called before an I-segment mirror sync.
+
+        Raises :class:`SyncInterrupted`; the caller must leave the old
+        mirror in place (stale) and flag it.
+        """
+        if not self.active:
+            return
+        self.stats.sync_ops += 1
+        index = self._next_index(site)
+        if self._rng(site, index).random() < self.plan.sync_interrupt:
+            self.stats.sync_interrupts += 1
+            self._record(FaultKind.SYNC_INTERRUPT, site, index)
+            raise SyncInterrupted(site, index)
+
+    def maybe_corrupt(self, array: np.ndarray,
+                      site: str = "mirror") -> List[Tuple[int, int]]:
+        """Possibly flip one bit of ``array`` in place (device memory).
+
+        Returns the flipped ``(flat_element, bit)`` positions — empty
+        when no corruption fired.  Only integer arrays are supported
+        (the I-segment mirror is ``uint64``).
+        """
+        if not self.active or array.size == 0:
+            return []
+        self.stats.mirror_ops += 1
+        index = self._next_index(site)
+        rng = self._rng(site, index)
+        if rng.random() >= self.plan.bitflip:
+            return []
+        flat = array.reshape(-1)
+        elem = int(rng.integers(0, flat.size))
+        bit = int(rng.integers(0, flat.dtype.itemsize * 8))
+        flat[elem] = flat[elem] ^ flat.dtype.type(1 << bit)
+        self.stats.bitflips += 1
+        self._record(FaultKind.BITFLIP, site, index, (elem, bit))
+        return [(elem, bit)]
+
+    # -- replay ---------------------------------------------------------
+
+    def schedule(self) -> List[Tuple[str, str, int, tuple]]:
+        """The fault schedule as plain tuples (stable across runs)."""
+        return [
+            (e.kind.value, e.site, e.index, tuple(e.detail))
+            for e in self.events
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(seed={self.plan.seed}, active={self.active}, "
+            f"faults={self.stats.total_faults})"
+        )

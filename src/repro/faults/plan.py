@@ -1,0 +1,120 @@
+"""Fault kinds, the seeded plan, and the typed fault exceptions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+
+
+class FaultKind(enum.Enum):
+    """Everything the injector knows how to break."""
+
+    TRANSFER_FAIL = "transfer_fail"
+    TRANSFER_TIMEOUT = "transfer_timeout"
+    KERNEL_FAIL = "kernel_fail"
+    KERNEL_HANG = "kernel_hang"
+    BITFLIP = "bitflip"
+    SYNC_INTERRUPT = "sync_interrupt"
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected fault."""
+
+    kind: FaultKind
+
+    def __init__(self, kind: FaultKind, site: str, index: int):
+        super().__init__(f"injected {kind.value} at {site}[{index}]")
+        self.kind = kind
+        self.site = site
+        self.index = index
+
+
+class TransferFault(FaultError):
+    """A PCIe transfer aborted; the device buffer was not modified."""
+
+    def __init__(self, site: str, index: int):
+        super().__init__(FaultKind.TRANSFER_FAIL, site, index)
+
+
+class TransferTimeout(FaultError):
+    """A PCIe transfer stalled past the watchdog budget."""
+
+    def __init__(self, site: str, index: int):
+        super().__init__(FaultKind.TRANSFER_TIMEOUT, site, index)
+
+
+class KernelLaunchFault(FaultError):
+    """A kernel launch was rejected by the device."""
+
+    def __init__(self, site: str, index: int):
+        super().__init__(FaultKind.KERNEL_FAIL, site, index)
+
+
+class KernelHang(FaultError):
+    """A kernel hung and was killed by the watchdog; its work is lost."""
+
+    def __init__(self, site: str, index: int):
+        super().__init__(FaultKind.KERNEL_HANG, site, index)
+
+
+class SyncInterrupted(FaultError):
+    """An I-segment sync aborted, leaving the GPU mirror stale."""
+
+    def __init__(self, site: str, index: int):
+        super().__init__(FaultKind.SYNC_INTERRUPT, site, index)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault, for replay verification and post-mortems."""
+
+    kind: FaultKind
+    site: str
+    #: per-site operation index at which the fault fired
+    index: int
+    #: extra payload, e.g. flipped (element, bit) for BITFLIP
+    detail: tuple = ()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded per-kind fault rates (probability per operation).
+
+    All rates are in ``[0, 1]``.  The plan is immutable; to change a
+    rate, build a new plan.  ``FaultPlan.uniform(rate, seed)`` sets
+    every GPU-side rate at once — the knob the fault-rate sweep turns.
+    """
+
+    seed: int = 0
+    transfer_fail: float = 0.0
+    transfer_timeout: float = 0.0
+    kernel_fail: float = 0.0
+    kernel_hang: float = 0.0
+    bitflip: float = 0.0
+    sync_interrupt: float = 0.0
+
+    def __post_init__(self):
+        for f in fields(self):
+            if f.name == "seed":
+                continue
+            v = getattr(self, f.name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"fault rate {f.name}={v} outside [0, 1]")
+
+    @staticmethod
+    def uniform(rate: float, seed: int = 0) -> "FaultPlan":
+        """Every fault kind fires with the same per-op probability."""
+        return FaultPlan(
+            seed=seed,
+            transfer_fail=rate,
+            transfer_timeout=rate,
+            kernel_fail=rate,
+            kernel_hang=rate,
+            bitflip=rate,
+            sync_interrupt=rate,
+        )
+
+    @staticmethod
+    def none(seed: int = 0) -> "FaultPlan":
+        """A plan that never fires (useful as an explicit baseline)."""
+        return FaultPlan(seed=seed)

@@ -10,9 +10,15 @@ from repro.platform.configs import GpuSpec
 
 
 class GpuDevice:
-    """One simulated discrete GPU built from a :class:`GpuSpec`."""
+    """One simulated discrete GPU built from a :class:`GpuSpec`.
 
-    def __init__(self, spec: GpuSpec):
+    An optional :class:`repro.faults.FaultInjector` screens every
+    kernel launch: a launch fault or hang raises before (launch fault)
+    or instead of (hang: the watchdog kills the kernel, its work is
+    lost) delivering results.
+    """
+
+    def __init__(self, spec: GpuSpec, injector: Optional[object] = None):
         self.spec = spec
         self.memory = DeviceMemory(
             spec.device_mem_bytes, transaction_sizes=spec.transaction_sizes
@@ -20,6 +26,20 @@ class GpuDevice:
         #: kernel launches performed (each pays ``kernel_init_ns``)
         self.kernel_launches = 0
         self.stats = GpuKernelStats()
+        #: optional :class:`repro.faults.FaultInjector`
+        self.injector = injector
+
+    def begin_launch(self) -> None:
+        """Screen + count one kernel launch (vectorised kernels call
+        this directly; the SIMT path goes through :meth:`launch`).
+
+        Raises the injector's :class:`~repro.faults.KernelLaunchFault`
+        or :class:`~repro.faults.KernelHang` when a fault fires; the
+        launch counter still advances — the launch was attempted.
+        """
+        self.kernel_launches += 1
+        if self.injector is not None:
+            self.injector.on_kernel_launch()
 
     def launch(
         self,
@@ -38,9 +58,9 @@ class GpuDevice:
             warp_size=self.spec.warp_size,
             shared_decls=shared_decls,
             shared_banks=self.spec.shared_mem_banks,
+            fault_hook=self.begin_launch,
         )
         stats = launch.run(*args)
-        self.kernel_launches += 1
         self.stats.merge(stats)
         return stats
 

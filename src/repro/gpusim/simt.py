@@ -154,6 +154,7 @@ class KernelLaunch:
         warp_size: int = 32,
         shared_decls: Optional[Dict[str, tuple]] = None,
         shared_banks: int = 32,
+        fault_hook: Optional[Callable[[], None]] = None,
     ):
         if grid_dim <= 0 or block_dim[0] <= 0 or block_dim[1] <= 0:
             raise ValueError("grid and block dimensions must be positive")
@@ -164,9 +165,14 @@ class KernelLaunch:
         self.warp_size = warp_size
         self.shared_decls = shared_decls or {}
         self.shared_banks = shared_banks
+        #: invoked once before execution; may raise an injected
+        #: launch fault / hang (see :mod:`repro.faults`)
+        self.fault_hook = fault_hook
 
     def run(self, *args) -> GpuKernelStats:
         """Execute the kernel; returns the accumulated statistics."""
+        if self.fault_hook is not None:
+            self.fault_hook()
         stats = GpuKernelStats()
         for block in range(self.grid_dim):
             block_stats = self._run_block(block, args)

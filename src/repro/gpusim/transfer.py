@@ -7,11 +7,19 @@ Transfers follow the paper's cost model (section 5.4):
 with a fixed initialization latency per transfer — the term that makes
 many small synchronizing transfers lose to one big asynchronous one in
 the update experiments (Fig 13-14).
+
+A :class:`~repro.faults.FaultInjector` may be attached to the link;
+every transfer then consults it first.  A failed or timed-out transfer
+leaves the device buffer untouched, still burns the modeled wire time
+(the data travelled before the abort), and is counted separately in
+:class:`TransferStats` so retries are visible in the accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 import numpy as np
 
 from repro.gpusim.memory import DeviceBuffer, DeviceMemory
@@ -26,33 +34,52 @@ class TransferStats:
     bytes_to_device: int = 0
     bytes_to_host: int = 0
     total_time_ns: float = 0.0
+    #: transfers aborted by an injected fault or timeout; their wire
+    #: time is included in ``total_time_ns`` but no bytes are counted
+    failed_transfers: int = 0
 
     def reset(self) -> None:
         self.transfers = 0
         self.bytes_to_device = 0
         self.bytes_to_host = 0
         self.total_time_ns = 0.0
+        self.failed_transfers = 0
 
 
 class PcieLink:
     """Moves data between host numpy arrays and device buffers."""
 
-    def __init__(self, spec: PcieSpec):
+    def __init__(self, spec: PcieSpec, injector: Optional[object] = None):
         self.spec = spec
         self.stats = TransferStats()
+        #: optional :class:`repro.faults.FaultInjector`
+        self.injector = injector
 
     def time_ns(self, nbytes: int) -> float:
         """Cost of one transfer of ``nbytes`` (either direction)."""
-        if nbytes < 0:
-            raise ValueError("transfer size cannot be negative")
+        if nbytes <= 0:
+            raise ValueError("transfer size must be positive")
         return self.spec.transfer_ns(nbytes)
+
+    def _check_fault(self, nbytes: int) -> None:
+        """Consult the injector; on a fault, account the wasted wire
+        time and re-raise without touching device state."""
+        if self.injector is None:
+            return
+        try:
+            self.injector.on_transfer(nbytes)
+        except Exception:
+            self.stats.failed_transfers += 1
+            self.stats.total_time_ns += self.time_ns(nbytes)
+            raise
 
     def to_device(
         self, memory: DeviceMemory, name: str, host_array: np.ndarray
     ) -> float:
         """Upload ``host_array`` into buffer ``name``; returns time (ns)."""
+        t = self.time_ns(host_array.nbytes)  # validates the size first
+        self._check_fault(host_array.nbytes)
         memory.upload(name, host_array)
-        t = self.time_ns(host_array.nbytes)
         self.stats.transfers += 1
         self.stats.bytes_to_device += host_array.nbytes
         self.stats.total_time_ns += t
@@ -73,10 +100,18 @@ class PcieLink:
         buf = memory.get(name)
         flat = buf.array.reshape(-1)
         src = host_array.reshape(-1)
+        if src.dtype != flat.dtype:
+            raise ValueError(
+                f"partial update dtype mismatch: host {src.dtype} vs "
+                f"device {flat.dtype}"
+            )
+        if offset_elems < 0:
+            raise ValueError("partial update offset cannot be negative")
         if offset_elems + src.size > flat.size:
             raise ValueError("partial update exceeds device buffer bounds")
+        t = self.time_ns(src.nbytes)  # rejects zero-size uploads
+        self._check_fault(src.nbytes)
         flat[offset_elems: offset_elems + src.size] = src
-        t = self.time_ns(src.nbytes)
         self.stats.transfers += 1
         self.stats.bytes_to_device += src.nbytes
         self.stats.total_time_ns += t
@@ -85,6 +120,7 @@ class PcieLink:
     def to_host(self, buffer: DeviceBuffer) -> "tuple[np.ndarray, float]":
         """Download a buffer; returns (array copy, time ns)."""
         t = self.time_ns(buffer.nbytes)
+        self._check_fault(buffer.nbytes)
         self.stats.transfers += 1
         self.stats.bytes_to_host += buffer.nbytes
         self.stats.total_time_ns += t

@@ -280,3 +280,114 @@ class TestGpuDevice:
         assert dev.kernel_launches == 1
         dev.reset_counters()
         assert dev.kernel_launches == 0
+
+
+class TestPcieLinkEdgeCases:
+    """Transfer validation and fault accounting."""
+
+    def _link(self, injector=None):
+        return PcieLink(
+            PcieSpec("x", bandwidth_gbs=10.0, t_init_ns=100.0),
+            injector=injector,
+        )
+
+    def test_zero_byte_transfer_rejected(self):
+        link = self._link()
+        with pytest.raises(ValueError):
+            link.time_ns(0)
+        mem = DeviceMemory(1 << 20)
+        with pytest.raises(ValueError):
+            link.to_device(mem, "buf", np.empty(0, dtype=np.uint64))
+
+    def test_zero_size_partial_update_rejected(self):
+        link = self._link()
+        mem = DeviceMemory(1 << 20)
+        link.to_device(mem, "buf", np.zeros(8, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            link.update_device(mem, "buf", np.empty(0, dtype=np.uint64))
+
+    def test_partial_update_dtype_mismatch_rejected(self):
+        """No more silent casting: a host array of the wrong dtype is
+        an error, not a lossy conversion."""
+        link = self._link()
+        mem = DeviceMemory(1 << 20)
+        link.to_device(mem, "buf", np.zeros(8, dtype=np.uint64))
+        with pytest.raises(ValueError, match="dtype"):
+            link.update_device(
+                mem, "buf", np.asarray([1.5], dtype=np.float64)
+            )
+        # the buffer was not touched
+        assert mem.get("buf").array[0] == 0
+
+    def test_partial_update_negative_offset_rejected(self):
+        link = self._link()
+        mem = DeviceMemory(1 << 20)
+        link.to_device(mem, "buf", np.zeros(8, dtype=np.uint64))
+        with pytest.raises(ValueError, match="offset"):
+            link.update_device(
+                mem, "buf", np.zeros(2, dtype=np.uint64), offset_elems=-1
+            )
+
+    def test_failed_transfer_stats(self):
+        from repro.faults import FaultInjector, FaultPlan, TransferFault
+
+        inj = FaultInjector(FaultPlan(transfer_fail=1.0, seed=1))
+        link = self._link(injector=inj)
+        mem = DeviceMemory(1 << 20)
+        host = np.arange(16, dtype=np.uint64)
+        with pytest.raises(TransferFault):
+            link.to_device(mem, "buf", host)
+        # the failed attempt burned wire time but moved no bytes
+        assert link.stats.failed_transfers == 1
+        assert link.stats.transfers == 0
+        assert link.stats.bytes_to_device == 0
+        assert link.stats.total_time_ns == pytest.approx(
+            link.time_ns(host.nbytes)
+        )
+        assert "buf" not in mem
+
+    def test_retried_transfer_stats(self):
+        """One failure then success: both counted, time accumulates."""
+        from repro.faults import FaultError, FaultInjector, FaultPlan
+
+        inj = FaultInjector(FaultPlan(transfer_fail=1.0, seed=1))
+        link = self._link(injector=inj)
+        mem = DeviceMemory(1 << 20)
+        host = np.arange(16, dtype=np.uint64)
+        with pytest.raises(FaultError):
+            link.to_device(mem, "buf", host)
+        inj.disable()  # the fault condition clears; retry succeeds
+        link.to_device(mem, "buf", host)
+        assert link.stats.failed_transfers == 1
+        assert link.stats.transfers == 1
+        assert link.stats.bytes_to_device == host.nbytes
+        assert link.stats.total_time_ns == pytest.approx(
+            2 * link.time_ns(host.nbytes)
+        )
+        assert np.array_equal(mem.get("buf").array, host)
+
+    def test_failed_update_leaves_device_untouched(self):
+        from repro.faults import FaultError, FaultInjector, FaultPlan
+
+        inj = FaultInjector(FaultPlan(transfer_fail=1.0, seed=1))
+        link = self._link()
+        mem = DeviceMemory(1 << 20)
+        link.to_device(mem, "buf", np.zeros(8, dtype=np.uint64))
+        link.injector = inj
+        with pytest.raises(FaultError):
+            link.update_device(
+                mem, "buf", np.asarray([7], dtype=np.uint64), offset_elems=2
+            )
+        assert mem.get("buf").array[2] == 0
+
+    def test_stats_reset_clears_failed_transfers(self):
+        from repro.faults import FaultError, FaultInjector, FaultPlan
+
+        inj = FaultInjector(FaultPlan(transfer_fail=1.0, seed=1))
+        link = self._link(injector=inj)
+        mem = DeviceMemory(1 << 20)
+        with pytest.raises(FaultError):
+            link.to_device(mem, "buf", np.ones(4, dtype=np.uint64))
+        link.stats.reset()
+        assert link.stats.failed_transfers == 0
+        assert link.stats.total_time_ns == 0.0

@@ -168,3 +168,51 @@ class TestGpuBoundShape:
             return pipe / seq
 
         assert gain(self.GPU_BOUND) < gain(COSTS)
+
+
+class TestPartialFinalBucket:
+    def test_run_queries_counts_real_queries(self):
+        sim = PipelineSimulator(
+            COSTS, BucketStrategy.DOUBLE_BUFFERED, bucket_size=16384
+        )
+        run = sim.run_queries(16384 + 100)
+        assert len(run.timelines) == 2
+        assert run.timelines[0].queries is None
+        assert run.timelines[-1].queries == 100
+        assert run.total_queries == 16384 + 100
+
+    def test_throughput_not_overcounted(self):
+        sim = PipelineSimulator(
+            COSTS, BucketStrategy.DOUBLE_BUFFERED, bucket_size=16384
+        )
+        partial = sim.run_queries(16384 + 1)
+        full = sim.run_queries(2 * 16384)
+        # same makespan (the tail pads to a full buffer slot), but the
+        # partial run carries barely more than half the queries
+        assert partial.makespan_ns == full.makespan_ns
+        ratio = partial.throughput_qps / full.throughput_qps
+        assert ratio == pytest.approx((16384 + 1) / (2 * 16384))
+
+    def test_exact_multiple_has_no_partial_bucket(self):
+        sim = PipelineSimulator(
+            COSTS, BucketStrategy.PIPELINED, bucket_size=1024
+        )
+        run = sim.run_queries(3 * 1024)
+        assert all(t.queries is None for t in run.timelines)
+        assert run.total_queries == 3 * 1024
+
+    def test_single_partial_bucket(self):
+        sim = PipelineSimulator(
+            COSTS, BucketStrategy.SEQUENTIAL, bucket_size=1024
+        )
+        run = sim.run_queries(10)
+        assert len(run.timelines) == 1
+        assert run.total_queries == 10
+        assert run.throughput_qps == pytest.approx(10 * 1e9 / run.makespan_ns)
+
+    def test_run_queries_validates(self):
+        sim = PipelineSimulator(
+            COSTS, BucketStrategy.SEQUENTIAL, bucket_size=1024
+        )
+        with pytest.raises(ValueError):
+            sim.run_queries(0)
