@@ -1,0 +1,93 @@
+"""Wall-clock benchmark CLI: times the simulator's real hot paths.
+
+Unlike the figure benchmarks (which report *modeled* nanoseconds), this
+script measures host wall-clock time of the paths PR-level performance
+work targets — mirror packing, bulk lookup through the batch engine,
+batch updates, and the batched cache-touch accounting — and writes the
+results to ``BENCH_pr2.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py [--smoke] [--out PATH]
+
+``--smoke`` shrinks the dataset for CI.  The script exits non-zero if a
+vectorised path is slower than its scalar reference by more than 1.5x,
+or if sorting a skewed bucket fails to reduce modeled transactions —
+the regression gate for the batch execution engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: a vectorised path slower than its scalar reference by more than this
+#: factor fails the gate
+MAX_SLOWDOWN = 1.5
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small dataset for CI (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_pr2.json",
+        help="output JSON path (default: BENCH_pr2.json)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.wallclock import run_wallclock
+
+    report = run_wallclock(smoke=args.smoke)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    mirror = report["mirror"]
+    touch = report["touch"]
+    zipf = report["lookup"]["zipf"]
+    update = report["update"]
+    print(f"wrote {args.out} ({report['mode']} mode)")
+    print(f"  pack_i_segment speedup vs scalar: {mirror['pack_speedup']:.2f}x")
+    print(f"  touch_lines speedup vs per-line:  {touch['speedup']:.2f}x")
+    print(
+        "  zipf transactions/query: "
+        f"{zipf['unsorted_transactions_per_query']:.2f} unsorted -> "
+        f"{zipf['sorted_transactions_per_query']:.2f} sorted "
+        f"({100 * zipf['transaction_reduction']:.1f}% saved)"
+    )
+    print(
+        "  sync PCIe transfers: "
+        f"{update['sync_pernode_pcie_transfers']} per-node -> "
+        f"{update['sync_batched_pcie_transfers']} batched"
+    )
+
+    failures = []
+    if mirror["pack_speedup"] < 1.0 / MAX_SLOWDOWN:
+        failures.append(
+            f"vectorised pack_i_segment is {1 / mirror['pack_speedup']:.2f}x "
+            f"slower than the scalar loop (limit {MAX_SLOWDOWN}x)"
+        )
+    if touch["speedup"] < 1.0 / MAX_SLOWDOWN:
+        failures.append(
+            f"batched touch_lines is {1 / touch['speedup']:.2f}x slower "
+            f"than the per-line loop (limit {MAX_SLOWDOWN}x)"
+        )
+    if zipf["transaction_reduction"] <= 0.0:
+        failures.append(
+            "sorting a zipf bucket did not reduce modeled transactions"
+        )
+    if (update["sync_batched_pcie_transfers"]
+            > update["sync_pernode_pcie_transfers"]):
+        failures.append(
+            "batched mirror sync issued more PCIe transfers than per-node"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,14 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 per-figure reproduction results.
 """
 
+from repro.core.batching import (
+    BatchingEngine,
+    BatchStats,
+    BucketPlan,
+    SortedDelta,
+    measure_sorted_delta,
+    plan_bucket,
+)
 from repro.core.framework import (
     CssTreeAdapter,
     HybridFramework,
@@ -67,6 +75,12 @@ __version__ = "1.0.0"
 __all__ = [
     "HBPlusTree",
     "ImplicitHBPlusTree",
+    "BatchingEngine",
+    "BatchStats",
+    "BucketPlan",
+    "SortedDelta",
+    "measure_sorted_delta",
+    "plan_bucket",
     "ResilientHBPlusTree",
     "ResilienceConfig",
     "ResilienceStats",

@@ -1,0 +1,202 @@
+"""Wall-clock benchmarks of the simulator's real hot paths.
+
+The figure benchmarks measure *modeled* time (the paper's cost model);
+this module measures how long the simulation itself takes to run on the
+host — the numbers that PR-level performance work actually moves.  It
+times the paths the batch engine and the vectorization work touch:
+
+* **build** — bulk-building the regular hybrid tree,
+* **mirror** — vectorised I-segment packing vs the per-node reference
+  loop, and the full mirror upload,
+* **lookup** — bulk lookups through the sorted/deduplicated
+  :class:`~repro.core.batching.BatchingEngine` vs the naive path, plus
+  the *modeled* sorted-vs-unsorted transaction delta on a skewed
+  (zipf) workload,
+* **update** — the async batch updater wall-clock and the batched
+  dirty-node mirror sync (PCIe transfer counts batched vs per-node),
+* **touch** — batched :meth:`MemorySystem.touch_lines` vs the
+  per-line loop.
+
+``run_wallclock`` returns one JSON-serialisable dict; the CLI wrapper
+``benchmarks/bench_wallclock.py`` writes it to ``BENCH_pr2.json`` and
+enforces the no-regression gate (vectorised paths must not be slower
+than their scalar references).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.core.batching import BatchingEngine, measure_sorted_delta
+from repro.core.hbtree import HBPlusTree
+from repro.core.update import AsyncBatchUpdater, SyncUpdater
+from repro.platform.configs import machine_m1
+from repro.workloads.generators import generate_dataset, generate_skewed_queries
+from repro.workloads.queries import make_insert_batch, make_point_queries
+
+
+def time_best_ns(fn: Callable[[], Any], repeats: int = 3) -> float:
+    """Best-of-N wall-clock time of ``fn`` in nanoseconds."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter_ns()
+        fn()
+        best = min(best, time.perf_counter_ns() - t0)
+    return best
+
+
+def _bench_build(keys, values, machine) -> Dict[str, Any]:
+    t0 = time.perf_counter_ns()
+    tree = HBPlusTree(keys, values, machine=machine)
+    build_ns = time.perf_counter_ns() - t0
+    return {
+        "tree": tree,
+        "result": {
+            "keys": int(len(keys)),
+            "build_wall_ns": float(build_ns),
+            "height": int(tree.height),
+            "inner_nodes": int(
+                tree.cpu_tree.upper.count + tree.cpu_tree.last.count
+            ),
+        },
+    }
+
+
+def _bench_mirror(tree: HBPlusTree, repeats: int) -> Dict[str, Any]:
+    pack_vec_ns = time_best_ns(tree.pack_i_segment, repeats)
+    pack_scalar_ns = time_best_ns(tree.pack_i_segment_scalar, repeats)
+    mirror_ns = time_best_ns(tree.mirror_i_segment, repeats)
+    return {
+        "pack_vectorized_wall_ns": pack_vec_ns,
+        "pack_scalar_wall_ns": pack_scalar_ns,
+        "pack_speedup": pack_scalar_ns / max(1.0, pack_vec_ns),
+        "mirror_build_wall_ns": mirror_ns,
+    }
+
+
+def _bench_lookup(tree: HBPlusTree, queries, zipf_queries,
+                  repeats: int) -> Dict[str, Any]:
+    engine = BatchingEngine(tree, measure_baseline=True)
+    naive_ns = time_best_ns(lambda: tree.lookup_batch(queries), repeats)
+    sorted_ns = time_best_ns(lambda: engine.lookup_batch(queries), repeats)
+    delta = measure_sorted_delta(tree, zipf_queries)
+    skew_engine = BatchingEngine(tree, measure_baseline=True)
+    skew_engine.lookup_batch(zipf_queries)
+    return {
+        "queries": int(len(queries)),
+        "naive_lookup_wall_ns": naive_ns,
+        "sorted_lookup_wall_ns": sorted_ns,
+        "zipf": {
+            "queries": delta.queries,
+            "unique": delta.unique,
+            "sorted_transactions_per_query": delta.sorted_per_query,
+            "unsorted_transactions_per_query": delta.unsorted_per_query,
+            "transaction_reduction": delta.gain,
+            "engine_transactions_per_query":
+                skew_engine.stats.transactions_per_query,
+            "engine_baseline_transactions_per_query":
+                skew_engine.stats.baseline_transactions_per_query,
+            "engine_sorted_gain": skew_engine.stats.sorted_gain,
+            "duplicate_fraction": skew_engine.stats.duplicate_fraction,
+        },
+    }
+
+
+def _bench_update(keys, values, machine, batch_size: int) -> Dict[str, Any]:
+    upd_keys, upd_vals = make_insert_batch(keys, batch_size, 64, seed=97)
+
+    tree = HBPlusTree(keys, values, machine=machine, fill=0.7)
+    t0 = time.perf_counter_ns()
+    async_stats = AsyncBatchUpdater(tree).apply(upd_keys, upd_vals)
+    async_ns = time.perf_counter_ns() - t0
+
+    tree_b = HBPlusTree(keys, values, machine=machine, fill=0.7)
+    tree_b.link.stats.reset()
+    t0 = time.perf_counter_ns()
+    sync_b = SyncUpdater(tree_b, batched=True).apply(upd_keys, upd_vals)
+    sync_batched_ns = time.perf_counter_ns() - t0
+    batched_transfers = tree_b.link.stats.transfers
+
+    tree_p = HBPlusTree(keys, values, machine=machine, fill=0.7)
+    tree_p.link.stats.reset()
+    t0 = time.perf_counter_ns()
+    sync_p = SyncUpdater(tree_p, batched=False).apply(upd_keys, upd_vals)
+    sync_pernode_ns = time.perf_counter_ns() - t0
+    pernode_transfers = tree_p.link.stats.transfers
+
+    return {
+        "batch_size": int(batch_size),
+        "async_wall_ns": float(async_ns),
+        "async_modeled_ns": async_stats.total_ns,
+        "async_deferred": int(async_stats.deferred),
+        "sync_batched_wall_ns": float(sync_batched_ns),
+        "sync_batched_modeled_ns": sync_b.total_ns,
+        "sync_batched_pcie_transfers": int(batched_transfers),
+        "sync_batched_nodes": int(sync_b.synced_nodes),
+        "sync_pernode_wall_ns": float(sync_pernode_ns),
+        "sync_pernode_modeled_ns": sync_p.total_ns,
+        "sync_pernode_pcie_transfers": int(pernode_transfers),
+        "sync_pernode_nodes": int(sync_p.synced_nodes),
+    }
+
+
+def _bench_touch(tree: HBPlusTree, n_touches: int,
+                 repeats: int) -> Dict[str, Any]:
+    cpu = tree.cpu_tree
+    cpu._ensure_segments()
+    rng = np.random.default_rng(13)
+    total_lines = cpu.leaves.count * cpu.leaves.lines_per_leaf
+    idx = rng.integers(0, total_lines, size=n_touches)
+
+    def scalar():
+        tree.mem.flush()
+        for i in idx.tolist():
+            tree.mem.touch_line(cpu.l_segment, int(i))
+
+    def batched():
+        tree.mem.flush()
+        tree.mem.touch_lines(cpu.l_segment, idx)
+
+    scalar_ns = time_best_ns(scalar, repeats)
+    batched_ns = time_best_ns(batched, repeats)
+    return {
+        "touches": int(n_touches),
+        "scalar_wall_ns": scalar_ns,
+        "batched_wall_ns": batched_ns,
+        "speedup": scalar_ns / max(1.0, batched_ns),
+    }
+
+
+def run_wallclock(smoke: bool = False) -> Dict[str, Any]:
+    """Run every wall-clock benchmark; returns the BENCH_pr2 payload.
+
+    ``smoke`` shrinks the dataset so CI finishes in seconds; the full
+    run sizes the tree past 10k inner nodes and the bulk lookup past
+    100k queries (the PR's acceptance scales).
+    """
+    if smoke:
+        n_keys, n_queries, batch = 1 << 15, 1 << 13, 512
+    else:
+        n_keys, n_queries, batch = 1 << 22, 1 << 17, 4096
+    repeats = 2 if smoke else 3
+    machine = machine_m1()
+    keys, values = generate_dataset(n_keys, seed=1234)
+    queries = make_point_queries(keys, n_queries, seed=77)
+    zipf_queries = generate_skewed_queries("zipf", n_queries, seed=19)
+
+    built = _bench_build(keys, values, machine)
+    tree = built["tree"]
+    report: Dict[str, Any] = {
+        "benchmark": "wallclock",
+        "mode": "smoke" if smoke else "full",
+        "machine": machine.name,
+        "build": built["result"],
+        "mirror": _bench_mirror(tree, repeats),
+        "lookup": _bench_lookup(tree, queries, zipf_queries, repeats),
+        "update": _bench_update(keys, values, machine, batch),
+        "touch": _bench_touch(tree, min(n_queries, 1 << 14), repeats),
+    }
+    return report

@@ -8,13 +8,23 @@
 * :mod:`repro.core.load_balance` — the D/R load balancing scheme and
   its discovery algorithm (section 5.5, Algorithm 1),
 * :mod:`repro.core.update` — batch update execution (section 5.6),
+* :mod:`repro.core.batching` — sorted/deduplicated bucket execution
+  (coalescing-aware batch engine; DESIGN.md §8),
 * :mod:`repro.core.resilience` — fault-tolerant execution: retries,
   mirror checksum repair, circuit-breaker degradation to CPU-only
   service and recovery (beyond the paper; see DESIGN.md §7).
 """
 
+from repro.core.batching import (
+    BatchingEngine,
+    BatchStats,
+    BucketPlan,
+    SortedDelta,
+    measure_sorted_delta,
+    plan_bucket,
+)
 from repro.core.buckets import iter_buckets, num_buckets
-from repro.core.hbtree import HBPlusTree
+from repro.core.hbtree import HBPlusTree, MirrorSyncStats
 from repro.core.hbtree_implicit import ImplicitHBPlusTree
 from repro.core.load_balance import DiscoveryResult, LoadBalancer
 from repro.core.pipeline import BucketStrategy, PipelineSimulator
@@ -35,6 +45,13 @@ from repro.core.update import (
 __all__ = [
     "HBPlusTree",
     "ImplicitHBPlusTree",
+    "BatchingEngine",
+    "BatchStats",
+    "BucketPlan",
+    "SortedDelta",
+    "measure_sorted_delta",
+    "plan_bucket",
+    "MirrorSyncStats",
     "ResilientHBPlusTree",
     "ResilienceConfig",
     "ResilienceStats",

@@ -1,0 +1,238 @@
+"""Sorted/deduplicated bucket execution (the batch execution engine).
+
+The paper's throughput story rests on memory coalescing: teams of a
+warp that read the *same* inner-node line share one 64-byte transaction
+(section 5.3).  Arrival-order buckets squander that — neighbouring
+queries land on unrelated subtrees, so nearly every team pays its own
+transaction.  This module restructures each bucket before the GPU
+stage:
+
+1. **sort + deduplicate** the bucket's queries (``np.unique``), so the
+   level-wise descent walks monotone node-id streams in which adjacent
+   teams share lines (the FPGA batch-search result of Tzschoppe et al.
+   and the lane-friendly batch layouts of the BS-tree exploit the same
+   structure);
+2. run the GPU descent and the CPU leaf stage **once per distinct
+   key**;
+3. **scatter** the per-distinct results back to arrival order with the
+   inverse permutation — callers observe bit-identical output to the
+   naive unsorted path.
+
+The engine optionally measures the arrival-order baseline through the
+same transaction model, surfacing the sorted-vs-unsorted delta through
+:class:`GpuSearchResult.baseline_transactions` / ``sorted_gain`` and
+the aggregated :class:`BatchStats`, which is how ``bucket_costs`` and
+the load balancer see the gain.
+
+The engine is duck-typed over both hybrid trees (regular and implicit):
+it only needs ``gpu_search_bucket`` / ``cpu_finish_bucket`` /
+``modeled_transactions`` and the key ``spec``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.buckets import DEFAULT_BUCKET_SIZE, iter_buckets
+
+
+@dataclass(frozen=True)
+class BucketPlan:
+    """One bucket's sort/dedup/scatter decomposition."""
+
+    #: the bucket's queries in arrival order
+    queries: np.ndarray
+    #: sorted distinct query keys (what the GPU stage actually sees)
+    sorted_unique: np.ndarray
+    #: per-arrival-query index into ``sorted_unique`` (the scatter map)
+    inverse: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.sorted_unique)
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """Share of the bucket's queries collapsed by deduplication."""
+        if self.n_queries == 0:
+            return 0.0
+        return 1.0 - self.n_unique / self.n_queries
+
+    def scatter(self, per_unique: np.ndarray) -> np.ndarray:
+        """Expand per-distinct-key results back to arrival order."""
+        return per_unique[self.inverse]
+
+
+def plan_bucket(queries: Sequence, dtype=None) -> BucketPlan:
+    """Sort + deduplicate one bucket; the inverse map restores order."""
+    q = np.asarray(queries, dtype=dtype)
+    if len(q) == 0:
+        return BucketPlan(
+            queries=q,
+            sorted_unique=q,
+            inverse=np.zeros(0, dtype=np.int64),
+        )
+    sorted_unique, inverse = np.unique(q, return_inverse=True)
+    return BucketPlan(
+        queries=q,
+        sorted_unique=sorted_unique,
+        inverse=inverse.reshape(-1).astype(np.int64),
+    )
+
+
+@dataclass
+class BatchStats:
+    """Aggregated accounting of an engine's executed buckets."""
+
+    buckets: int = 0
+    queries: int = 0
+    unique: int = 0
+    #: modeled GPU transactions actually charged (sorted batches)
+    transactions: int = 0
+    #: modeled transactions the same queries cost in arrival order
+    #: (accumulated only when the engine measures baselines)
+    baseline_transactions: int = 0
+    baselines_measured: int = 0
+
+    @property
+    def transactions_per_query(self) -> float:
+        """Charged transactions per *arrival* query (dedup included)."""
+        if self.queries == 0:
+            return 0.0
+        return self.transactions / self.queries
+
+    @property
+    def baseline_transactions_per_query(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return self.baseline_transactions / self.queries
+
+    @property
+    def duplicate_fraction(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return 1.0 - self.unique / self.queries
+
+    @property
+    def sorted_gain(self) -> float:
+        """Fraction of modeled transactions saved vs arrival order."""
+        if self.baseline_transactions <= 0:
+            return 0.0
+        return 1.0 - self.transactions / self.baseline_transactions
+
+
+class BatchingEngine:
+    """Executes buckets sorted + deduplicated over a hybrid tree.
+
+    ``measure_baseline`` additionally runs the arrival-order bucket
+    through the pure transaction model (no device-counter side
+    effects), so every :class:`GpuSearchResult` carries its
+    ``baseline_transactions`` and the engine's :class:`BatchStats`
+    report the measured sorted-vs-unsorted delta.
+    """
+
+    def __init__(self, tree, bucket_size: Optional[int] = None,
+                 measure_baseline: bool = False):
+        self.tree = tree
+        self.bucket_size = bucket_size or getattr(
+            getattr(tree, "machine", None), "bucket_size", DEFAULT_BUCKET_SIZE
+        )
+        self.measure_baseline = measure_baseline
+        self.stats = BatchStats()
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _codes_of(result) -> np.ndarray:
+        """The GPU stage's per-query output, whatever the tree calls it."""
+        if hasattr(result, "codes"):
+            return result.codes
+        return result.leaf_indices
+
+    def execute_bucket(self, queries: Sequence):
+        """Run one bucket; returns ``(values, GpuSearchResult)``.
+
+        ``values`` are in arrival order and bit-identical to
+        ``tree.lookup_batch(queries)``.
+        """
+        plan = plan_bucket(queries, dtype=self.tree.spec.dtype)
+        if plan.n_queries == 0:
+            empty = np.zeros(0, dtype=self.tree.spec.dtype)
+            return empty, self.tree.gpu_search_bucket(plan.sorted_unique)
+        result = self.tree.gpu_search_bucket(plan.sorted_unique)
+        if self.measure_baseline:
+            result.baseline_transactions = self.tree.modeled_transactions(
+                plan.queries
+            )
+            self.stats.baseline_transactions += result.baseline_transactions
+            self.stats.baselines_measured += 1
+        per_unique = self.tree.cpu_finish_bucket(
+            plan.sorted_unique, self._codes_of(result)
+        )
+        self.stats.buckets += 1
+        self.stats.queries += plan.n_queries
+        self.stats.unique += plan.n_unique
+        self.stats.transactions += result.transactions
+        return plan.scatter(per_unique), result
+
+    def lookup_bucket(self, queries: Sequence) -> np.ndarray:
+        """One bucket's values in arrival order."""
+        values, _result = self.execute_bucket(queries)
+        return values
+
+    def lookup_batch(self, queries: Sequence) -> np.ndarray:
+        """Stream an arbitrary query array through sorted buckets."""
+        q = np.asarray(queries, dtype=self.tree.spec.dtype)
+        if len(q) == 0:
+            return np.zeros(0, dtype=self.tree.spec.dtype)
+        parts = [
+            self.lookup_bucket(bucket)
+            for bucket in iter_buckets(q, self.bucket_size)
+        ]
+        return np.concatenate(parts)
+
+
+@dataclass
+class SortedDelta:
+    """Measured sorted-vs-unsorted transaction delta on one workload."""
+
+    queries: int
+    unique: int
+    sorted_transactions: int
+    unsorted_transactions: int
+
+    @property
+    def sorted_per_query(self) -> float:
+        return self.sorted_transactions / max(1, self.queries)
+
+    @property
+    def unsorted_per_query(self) -> float:
+        return self.unsorted_transactions / max(1, self.queries)
+
+    @property
+    def gain(self) -> float:
+        if self.unsorted_transactions <= 0:
+            return 0.0
+        return 1.0 - self.sorted_transactions / self.unsorted_transactions
+
+
+def measure_sorted_delta(tree, queries: Sequence) -> SortedDelta:
+    """Charge one workload through the transaction model both ways.
+
+    Pure measurement — device counters and mirrors are untouched; used
+    by tests, ``bucket_costs`` consumers and the wall-clock benchmark.
+    """
+    plan = plan_bucket(queries, dtype=tree.spec.dtype)
+    return SortedDelta(
+        queries=plan.n_queries,
+        unique=plan.n_unique,
+        sorted_transactions=tree.modeled_transactions(plan.sorted_unique),
+        unsorted_transactions=tree.modeled_transactions(plan.queries),
+    )

@@ -52,12 +52,35 @@ class GpuSearchResult:
 
     codes: np.ndarray
     transactions: int
+    #: modeled transactions the same batch costs in *arrival* order;
+    #: set by the batch engine (:mod:`repro.core.batching`) when it
+    #: measured the unsorted baseline of a sorted bucket
+    baseline_transactions: Optional[int] = None
 
     @property
     def transactions_per_query(self) -> float:
         if len(self.codes) == 0:
             return 0.0
         return self.transactions / len(self.codes)
+
+    @property
+    def sorted_gain(self) -> float:
+        """Fraction of modeled transactions saved vs arrival order."""
+        if not self.baseline_transactions:
+            return 0.0
+        return 1.0 - self.transactions / self.baseline_transactions
+
+
+@dataclass
+class MirrorSyncStats:
+    """Outcome of one batched dirty-node mirror sync."""
+
+    nodes: int
+    transfers: int
+    time_ns: float
+    #: True when the batch fell back to a full mirror rebuild (a dirty
+    #: node lay outside the mirrored capacity)
+    rebuilt: bool = False
 
 
 class HBPlusTree:
@@ -120,19 +143,32 @@ class HBPlusTree:
         kpl = self.spec.keys_per_line
         return kpl + 2 * self.cpu_tree.fanout
 
-    def _pack_node(self, pool, node: int) -> np.ndarray:
-        """Device image of one inner node (with the MAX catch-all pin)."""
+    def _pack_nodes(self, pool, nodes: np.ndarray) -> np.ndarray:
+        """Device images of many pool nodes at once, one row per node.
+
+        Bulk twin of the old per-node packing loop: the MAX catch-all
+        pin, the index-line derivation and the ref cast all happen as
+        whole-array operations.
+        """
         kpl = self.spec.keys_per_line
         fanout = self.cpu_tree.fanout
-        keys = pool.keys[node].copy()
-        size = max(1, int(pool.size[node]))
-        keys[size - 1] = self.spec.max_value
-        index_line = keys.reshape(kpl, kpl)[:, -1]
-        out = np.empty(self.node_stride, dtype=np.uint64)
-        out[:kpl] = index_line.astype(np.uint64)
-        out[kpl: kpl + fanout] = keys.astype(np.uint64)
-        out[kpl + fanout:] = pool.refs[node].astype(np.uint64)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        n = len(nodes)
+        out = np.empty((n, self.node_stride), dtype=np.uint64)
+        if n == 0:
+            return out
+        # the fancy index already copies, so casting may reuse it
+        keys = pool.keys[nodes].astype(np.uint64, copy=False)
+        size = np.maximum(1, pool.size[nodes]).astype(np.int64)
+        keys[np.arange(n), size - 1] = np.uint64(self.spec.max_value)
+        out[:, :kpl] = keys.reshape(n, kpl, kpl)[:, :, -1]
+        out[:, kpl: kpl + fanout] = keys
+        out[:, kpl + fanout:] = pool.refs[nodes].astype(np.uint64)
         return out
+
+    def _pack_node(self, pool, node: int) -> np.ndarray:
+        """Device image of one inner node (with the MAX catch-all pin)."""
+        return self._pack_nodes(pool, np.asarray([node]))[0]
 
     def pack_i_segment(self) -> np.ndarray:
         """The device image of the full I-segment, packed from the CPU
@@ -141,16 +177,46 @@ class HBPlusTree:
         upper_n = tree.upper.count
         last_n = tree.last.count
         stride = self.node_stride
+        flat = np.empty((upper_n + last_n) * stride, dtype=np.uint64)
+        flat[: upper_n * stride] = self._pack_nodes(
+            tree.upper, np.arange(upper_n)
+        ).reshape(-1)
+        flat[upper_n * stride:] = self._pack_nodes(
+            tree.last, np.arange(last_n)
+        ).reshape(-1)
+        return flat
+
+    def pack_i_segment_scalar(self) -> np.ndarray:
+        """Reference per-node packing loop.
+
+        Kept as the equivalence/speedup baseline for the vectorised
+        :meth:`pack_i_segment` (asserted in tests and timed by the
+        wall-clock benchmark); not used on any hot path.
+        """
+        tree = self.cpu_tree
+        kpl = self.spec.keys_per_line
+        fanout = self.cpu_tree.fanout
+        upper_n = tree.upper.count
+        last_n = tree.last.count
+        stride = self.node_stride
         flat = np.zeros((upper_n + last_n) * stride, dtype=np.uint64)
+
+        def pack_one(pool, node):
+            keys = pool.keys[node].copy()
+            size = max(1, int(pool.size[node]))
+            keys[size - 1] = self.spec.max_value
+            index_line = keys.reshape(kpl, kpl)[:, -1]
+            out = np.empty(stride, dtype=np.uint64)
+            out[:kpl] = index_line.astype(np.uint64)
+            out[kpl: kpl + fanout] = keys.astype(np.uint64)
+            out[kpl + fanout:] = pool.refs[node].astype(np.uint64)
+            return out
+
         for node in range(upper_n):
-            flat[node * stride: (node + 1) * stride] = self._pack_node(
-                tree.upper, node
-            )
+            flat[node * stride: (node + 1) * stride] = pack_one(tree.upper, node)
         for node in range(last_n):
             slot = upper_n + node
-            flat[slot * stride: (slot + 1) * stride] = self._pack_node(
-                tree.last, node
-            )
+            flat[slot * stride: (slot + 1) * stride] = pack_one(tree.last, node)
         return flat
 
     def mirror_i_segment(self) -> float:
@@ -195,6 +261,75 @@ class HBPlusTree:
         self.mirror_stale = was_stale
         return t
 
+    def sync_nodes(self, dirty: Sequence) -> MirrorSyncStats:
+        """Push a batch of modified inner nodes in ranged transfers.
+
+        ``dirty`` is an iterable of ``(level, node)`` pairs (level 0 =
+        last-level pool).  Duplicates collapse, the dirty mirror slots
+        are sorted, and *adjacent* slots coalesce into one ranged
+        ``update_device`` transfer each — so a batch update that soiled
+        N nodes costs one PCIe round-trip per contiguous dirty range
+        instead of N single-node round-trips (each paying ``T_init``).
+
+        Falls back to a full mirror rebuild when any dirty node lies
+        outside the mirrored capacity (splits grew the pools).  On an
+        injected transfer fault the exception propagates with
+        ``mirror_stale`` left True, exactly like :meth:`sync_node`.
+        """
+        tree = self.cpu_tree
+        stride = self.node_stride
+        pairs = sorted({(int(level), int(node)) for level, node in dirty})
+        if not pairs:
+            return MirrorSyncStats(nodes=0, transfers=0, time_ns=0.0)
+        slots = np.asarray(
+            [n + (self.last_base if lvl == 0 else 0) for lvl, n in pairs],
+            dtype=np.int64,
+        )
+        out_of_mirror = (
+            int(slots.max() + 1) * stride > self.iseg_buffer.array.size
+            or any(lvl > 0 and n >= self.last_base for lvl, n in pairs)
+        )
+        if out_of_mirror:
+            t = self.mirror_i_segment()
+            return MirrorSyncStats(
+                nodes=len(pairs), transfers=1, time_ns=t, rebuilt=True
+            )
+        order = np.argsort(slots)
+        slots = slots[order]
+        last_nodes = [n for lvl, n in pairs if lvl == 0]
+        upper_nodes = [n for lvl, n in pairs if lvl > 0]
+        rows = np.empty((len(pairs), stride), dtype=np.uint64)
+        packed_slot = np.empty(len(pairs), dtype=np.int64)
+        rows[: len(upper_nodes)] = self._pack_nodes(
+            tree.upper, np.asarray(upper_nodes, dtype=np.int64)
+        )
+        packed_slot[: len(upper_nodes)] = [n for n in upper_nodes]
+        rows[len(upper_nodes):] = self._pack_nodes(
+            tree.last, np.asarray(last_nodes, dtype=np.int64)
+        )
+        packed_slot[len(upper_nodes):] = [
+            n + self.last_base for n in last_nodes
+        ]
+        # reorder the packed rows into ascending-slot order
+        rows = rows[np.argsort(packed_slot)]
+        # contiguous dirty ranges -> one transfer each
+        breaks = np.flatnonzero(np.diff(slots) > 1) + 1
+        starts = np.r_[0, breaks]
+        ends = np.r_[breaks, len(slots)]
+        stats = MirrorSyncStats(nodes=len(pairs), transfers=0, time_ns=0.0)
+        was_stale = self.mirror_stale
+        self.mirror_stale = True
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            stats.time_ns += self.link.update_device(
+                self.device.memory,
+                "iseg_regular",
+                rows[s:e].reshape(-1),
+                offset_elems=int(slots[s]) * stride,
+            )
+            stats.transfers += 1
+        self.mirror_stale = was_stale
+        return stats
+
     @property
     def i_segment_bytes(self) -> int:
         return self.iseg_buffer.nbytes
@@ -213,6 +348,11 @@ class HBPlusTree:
     def gpu_search_bucket(self, queries: np.ndarray) -> GpuSearchResult:
         """Stage 2: 3-step descent of all inner levels on the GPU."""
         q = np.asarray(queries, dtype=self.spec.dtype)
+        if len(q) == 0:
+            # an empty bucket launches nothing and costs nothing
+            return GpuSearchResult(
+                codes=np.zeros(0, dtype=np.int64), transactions=0
+            )
         self.device.begin_launch()
         codes, txns = regular_search_vectorized(
             self.iseg_buffer.array,
@@ -228,6 +368,29 @@ class HBPlusTree:
         self.device.memory.counters.transactions_64 += txns
         self.device.memory.counters.bytes_moved += txns * 64
         return GpuSearchResult(codes=codes, transactions=txns)
+
+    def modeled_transactions(self, queries: np.ndarray) -> int:
+        """Transactions the GPU stage would charge for ``queries``.
+
+        Pure measurement through the coalescing model — no kernel
+        launch, no device counters.  Used by the batch engine to price
+        the arrival-order baseline of a sorted bucket.
+        """
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        if len(q) == 0:
+            return 0
+        _codes, txns = regular_search_vectorized(
+            self.iseg_buffer.array,
+            self.node_stride,
+            self.spec.keys_per_line,
+            self.cpu_tree.fanout,
+            self.cpu_tree.height,
+            self.cpu_tree.root,
+            self.last_base,
+            q,
+            teams_per_warp=self.teams_per_warp,
+        )
+        return txns
 
     def gpu_search_bucket_literal(self, queries: np.ndarray) -> np.ndarray:
         """Stage 2 on the literal SIMT interpreter (slow; for tests)."""
@@ -250,6 +413,8 @@ class HBPlusTree:
     ) -> np.ndarray:
         """Stage 4: search the addressed big-leaf cache lines."""
         q = np.asarray(queries, dtype=self.spec.dtype)
+        if len(q) == 0:
+            return np.zeros(0, dtype=self.spec.dtype)
         tree = self.cpu_tree
         fanout = tree.fanout
         node = (codes // fanout).astype(np.int64)
@@ -290,8 +455,7 @@ class HBPlusTree:
         line = (result.codes % tree.fanout).astype(np.int64)
         self.mem.reset_counters()
         tree._ensure_segments()
-        for n, ln in zip(node.tolist(), line.tolist()):
-            tree._touch_leaf_line(int(n), int(ln))
+        tree._touch_leaf_lines(node, line)
         counters = self.mem.counters
         counters.queries = len(q)
         return CpuQueryProfile.from_counters(counters, node_searches_per_query=1.0)
@@ -301,17 +465,42 @@ class HBPlusTree:
         bucket_size: Optional[int] = None,
         sample: Optional[np.ndarray] = None,
         cpu_model: Optional[CpuCostModel] = None,
+        sort_batches: bool = False,
     ) -> BucketCosts:
+        """Per-stage bucket costs measured on a sampled workload.
+
+        ``sort_batches=True`` prices the sorted/deduplicated pipeline of
+        :class:`repro.core.batching.BatchingEngine`: the GPU stage is
+        measured on the sorted distinct sample (fewer transactions per
+        query) and all four stages are scaled by the sample's distinct
+        fraction, since duplicates collapse before transfer.
+        """
         bucket_size = bucket_size or self.machine.bucket_size
         if sample is None:
+            stored = self.cpu_tree.stored_keys()
+            if len(stored) == 0:
+                raise ValueError(
+                    "bucket_costs needs stored keys to sample a workload; "
+                    "the tree is empty — insert keys first or pass "
+                    "sample= explicitly"
+                )
             rng = np.random.default_rng(5)
-            stored = np.asarray([k for k, _v in self.cpu_tree.items()],
-                                dtype=self.spec.dtype)
-            sample = rng.choice(stored, size=min(4096, len(stored)))
-        gpu_result = self.gpu_search_bucket(
-            np.asarray(sample, dtype=self.spec.dtype)
-        )
-        leaf_profile = self.profile_leaf_stage(sample)
+            # sample with replacement so tiny trees still fill a bucket
+            sample = rng.choice(stored, size=4096, replace=True)
+        sample = np.asarray(sample, dtype=self.spec.dtype)
+        if len(sample) == 0:
+            raise ValueError("bucket_costs sample must be non-empty")
+        unique_fraction = 1.0
+        if sort_batches:
+            from repro.core.batching import plan_bucket
+
+            plan = plan_bucket(sample, dtype=self.spec.dtype)
+            unique_fraction = plan.n_unique / plan.n_queries
+            gpu_result = self.gpu_search_bucket(plan.sorted_unique)
+            leaf_profile = self.profile_leaf_stage(plan.sorted_unique)
+        else:
+            gpu_result = self.gpu_search_bucket(sample)
+            leaf_profile = self.profile_leaf_stage(sample)
         return hybrid_bucket_costs(
             self.machine,
             self.spec,
@@ -320,6 +509,7 @@ class HBPlusTree:
             gpu_levels=3.0 * self.cpu_tree.height,
             cpu_leaf_profile=leaf_profile,
             cpu_model=cpu_model,
+            unique_fraction=unique_fraction,
         )
 
     def __repr__(self) -> str:

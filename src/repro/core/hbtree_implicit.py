@@ -49,12 +49,22 @@ class GpuSearchResult:
 
     leaf_indices: np.ndarray
     transactions: int
+    #: modeled transactions the same bucket costs in arrival order;
+    #: filled by the batch engine when it measures baselines
+    baseline_transactions: Optional[int] = None
 
     @property
     def transactions_per_query(self) -> float:
         if len(self.leaf_indices) == 0:
             return 0.0
         return self.transactions / len(self.leaf_indices)
+
+    @property
+    def sorted_gain(self) -> float:
+        """Fraction of modeled transactions saved vs arrival order."""
+        if not self.baseline_transactions:
+            return 0.0
+        return 1.0 - self.transactions / self.baseline_transactions
 
 
 @dataclass
@@ -169,7 +179,7 @@ class ImplicitHBPlusTree:
     def gpu_search_bucket(self, queries: np.ndarray) -> GpuSearchResult:
         """Stage 2: traverse all inner levels on the (simulated) GPU."""
         q = np.asarray(queries, dtype=self.spec.dtype)
-        if self.gpu_depth == 0:
+        if len(q) == 0 or self.gpu_depth == 0:
             return GpuSearchResult(
                 leaf_indices=np.zeros(len(q), dtype=np.int64), transactions=0
             )
@@ -186,6 +196,27 @@ class ImplicitHBPlusTree:
         self.device.memory.counters.transactions_64 += txns
         self.device.memory.counters.bytes_moved += txns * 64
         return GpuSearchResult(leaf_indices=leaf, transactions=txns)
+
+    def modeled_transactions(self, queries: np.ndarray) -> int:
+        """Transactions the GPU stage would charge for ``queries``.
+
+        Pure measurement through the coalescing model — no launch, no
+        device counters.  Used by the batch engine to price the
+        arrival-order baseline of a sorted bucket.
+        """
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        if len(q) == 0 or self.gpu_depth == 0:
+            return 0
+        _leaf, txns = implicit_search_vectorized(
+            self.iseg_buffer.array,
+            self.level_offsets,
+            self.level_sizes,
+            self.gpu_depth,
+            self.cpu_tree.fanout,
+            q,
+            teams_per_warp=self.teams_per_warp,
+        )
+        return txns
 
     def gpu_search_bucket_literal(self, queries: np.ndarray) -> np.ndarray:
         """Stage 2 on the literal SIMT interpreter (slow; for tests)."""
@@ -205,6 +236,8 @@ class ImplicitHBPlusTree:
     ) -> np.ndarray:
         """Stage 4: search the target leaves on the CPU."""
         q = np.asarray(queries, dtype=self.spec.dtype)
+        if len(q) == 0:
+            return np.zeros(0, dtype=self.spec.dtype)
         leaf = np.minimum(leaf_indices, self.cpu_tree.num_leaves - 1)
         rows = self.cpu_tree.leaf_keys[leaf]
         pos = np.sum(rows < q[:, None], axis=1)
@@ -238,8 +271,7 @@ class ImplicitHBPlusTree:
         result = self.gpu_search_bucket(q)
         leaf = np.minimum(result.leaf_indices, self.cpu_tree.num_leaves - 1)
         self.mem.reset_counters()
-        for index in leaf.tolist():
-            self.mem.touch_line(self.cpu_tree.l_segment, int(index))
+        self.mem.touch_lines(self.cpu_tree.l_segment, leaf)
         counters = self.mem.counters
         counters.queries = len(q)
         return CpuQueryProfile.from_counters(counters, node_searches_per_query=1.0)
@@ -249,18 +281,42 @@ class ImplicitHBPlusTree:
         bucket_size: Optional[int] = None,
         sample: Optional[np.ndarray] = None,
         cpu_model: Optional[CpuCostModel] = None,
+        sort_batches: bool = False,
     ) -> BucketCosts:
-        """Derive the paper's T1-T4 for this tree on this machine."""
+        """Derive the paper's T1-T4 for this tree on this machine.
+
+        ``sort_batches=True`` prices the sorted/deduplicated pipeline
+        of :class:`repro.core.batching.BatchingEngine` (GPU stage on
+        the sorted distinct sample, all stages scaled by the distinct
+        fraction).
+        """
         bucket_size = bucket_size or self.machine.bucket_size
         if sample is None:
-            rng = np.random.default_rng(3)
             stored = self.cpu_tree.leaf_keys.reshape(-1)
             stored = stored[stored != self.spec.max_value]
-            sample = rng.choice(stored, size=min(4096, len(stored)))
-        gpu_result = self.gpu_search_bucket(
-            np.asarray(sample, dtype=self.spec.dtype)
-        )
-        leaf_profile = self.profile_leaf_stage(sample)
+            if len(stored) == 0:
+                raise ValueError(
+                    "bucket_costs needs stored keys to sample a workload; "
+                    "the tree is empty — rebuild with keys or pass "
+                    "sample= explicitly"
+                )
+            rng = np.random.default_rng(3)
+            # sample with replacement so tiny trees still fill a bucket
+            sample = rng.choice(stored, size=4096, replace=True)
+        sample = np.asarray(sample, dtype=self.spec.dtype)
+        if len(sample) == 0:
+            raise ValueError("bucket_costs sample must be non-empty")
+        unique_fraction = 1.0
+        if sort_batches:
+            from repro.core.batching import plan_bucket
+
+            plan = plan_bucket(sample, dtype=self.spec.dtype)
+            unique_fraction = plan.n_unique / plan.n_queries
+            gpu_result = self.gpu_search_bucket(plan.sorted_unique)
+            leaf_profile = self.profile_leaf_stage(plan.sorted_unique)
+        else:
+            gpu_result = self.gpu_search_bucket(sample)
+            leaf_profile = self.profile_leaf_stage(sample)
         return hybrid_bucket_costs(
             self.machine,
             self.spec,
@@ -269,6 +325,7 @@ class ImplicitHBPlusTree:
             gpu_levels=float(self.gpu_depth),
             cpu_leaf_profile=leaf_profile,
             cpu_model=cpu_model,
+            unique_fraction=unique_fraction,
         )
 
     # ------------------------------------------------------------------

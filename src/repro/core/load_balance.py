@@ -56,11 +56,13 @@ class LoadBalancer:
         tree: ImplicitHBPlusTree,
         bucket_size: Optional[int] = None,
         cpu_model: Optional[CpuCostModel] = None,
+        sort_batches: bool = False,
     ):
         self.tree = tree
         self.machine = tree.machine
         self.bucket_size = bucket_size or self.machine.bucket_size
         self.cpu_model = cpu_model or CpuCostModel(self.machine.cpu)
+        self.sort_batches = sort_batches
         self._profile_levels()
         self.depth = 0
         self.ratio = 1.0
@@ -76,6 +78,10 @@ class LoadBalancer:
         stored = tree.leaf_keys.reshape(-1)
         stored = stored[stored != spec.max_value]
         sample = rng.choice(stored, size=min(sample_size, len(stored)))
+        if self.sort_batches:
+            # measure on the stream the batch engine actually runs:
+            # sorted distinct queries (coalescing-friendly on the GPU)
+            sample = np.unique(sample)
         mem = self.tree.mem
         h = tree.height
 
@@ -88,8 +94,7 @@ class LoadBalancer:
         for level in range(h):
             offset = tree._level_line_offset(level)
             before = mem.counters.cache_misses
-            for n in node.tolist():
-                mem.touch_line(tree.i_segment, offset + int(n))
+            mem.touch_lines(tree.i_segment, offset + node)
             per_level_misses[level] = (
                 mem.counters.cache_misses - before
             ) / len(sample)
@@ -106,8 +111,7 @@ class LoadBalancer:
         before = mem.counters.cache_misses
         tlb_s_before = mem.counters.tlb_misses_small
         tlb_h_before = mem.counters.tlb_misses_huge
-        for n in node.tolist():
-            mem.touch_line(tree.l_segment, int(n))
+        mem.touch_lines(tree.l_segment, node)
         leaf_misses = (mem.counters.cache_misses - before) / len(sample)
         leaf_tlb_s = (mem.counters.tlb_misses_small - tlb_s_before) / len(sample)
         leaf_tlb_h = (mem.counters.tlb_misses_huge - tlb_h_before) / len(sample)

@@ -144,53 +144,82 @@ class AsyncBatchUpdater:
             _measure_update_cost_ns(self.tree, cost_sample) if len(keys) else 0.0
         )
 
-        ops: List[Tuple[str, int, int]] = [
-            ("upsert", int(k), int(v)) for k, v in zip(keys, values)
-        ] + [("delete", int(k), 0) for k in deletes]
-        for start in range(0, len(ops), ASYNC_GROUP_SIZE):
-            group = ops[start: start + ASYNC_GROUP_SIZE]
-            deferred: List[Tuple[str, int, int]] = []
-            touched_nodes: List[int] = []
-            for op, key, value in group:
-                node, _line, _path = cpu_tree._descend(key, instrument=False)
-                size = int(cpu_tree.leaves.size[node])
-                causes_split = (
-                    op == "upsert"
-                    and size >= cpu_tree.leaves.capacity_pairs
-                    and cpu_tree.lookup(key, instrument=False) is None
-                )
-                causes_merge = op == "delete" and size <= 1
-                if causes_split or causes_merge:
-                    deferred.append((op, key, value))
-                    continue
-                touched_nodes.append(node)
-                stats.lock_acquisitions += 1
-                if op == "upsert":
-                    cpu_tree.insert(key, value)
+        spec = self.tree.spec
+        op_kind = np.concatenate([
+            np.zeros(len(keys), dtype=np.int8),
+            np.ones(len(deletes), dtype=np.int8),
+        ])
+        op_key = np.concatenate([keys, deletes])
+        op_val = np.concatenate([values, np.zeros(len(deletes), dtype=spec.dtype)])
+        for start in range(0, len(op_key), ASYNC_GROUP_SIZE):
+            gk = op_key[start: start + ASYNC_GROUP_SIZE]
+            gkind = op_kind[start: start + ASYNC_GROUP_SIZE]
+            gv = op_val[start: start + ASYNC_GROUP_SIZE]
+            # classify the whole group in one vectorised pass: batch
+            # descent + batch presence check + projected leaf occupancy
+            # replace the former per-op descend/lookup pair
+            nodes, _lines = cpu_tree.descend_batch(gk)
+            present = cpu_tree.lookup_batch(gk) != spec.max_value
+            sizes0 = cpu_tree.leaves.size[nodes]
+            _u, first_idx = np.unique(gk, return_index=True)
+            is_first = np.zeros(len(gk), dtype=bool)
+            is_first[first_idx] = True
+            is_up = gkind == 0
+            is_new = is_up & ~present & is_first
+            # per-op projected leaf size: starting occupancy plus the
+            # net effect of every earlier op in the group on that leaf
+            # (grouped exclusive cumsum over the op order)
+            delta = is_new.astype(np.int64)
+            delta -= (~is_up & present).astype(np.int64)
+            order = np.argsort(nodes, kind="stable")
+            sn, sd = nodes[order], delta[order]
+            csum = np.cumsum(sd)
+            newrun = np.r_[True, sn[1:] != sn[:-1]]
+            run_id = np.cumsum(newrun) - 1
+            run_start = np.flatnonzero(newrun)
+            base = np.where(run_start > 0, csum[run_start - 1], 0)
+            prior = np.empty(len(gk), dtype=np.int64)
+            prior[order] = csum - sd - base[run_id]
+            projected = sizes0 + prior
+            causes_split = is_new & (
+                projected >= cpu_tree.leaves.capacity_pairs
+            )
+            causes_merge = ~is_up & (projected <= 1)
+            deferred_mask = causes_split | causes_merge
+            keep = np.flatnonzero(~deferred_mask)
+            defer = np.flatnonzero(deferred_mask)
+            stats.lock_acquisitions += len(keep)
+            for i in keep.tolist():
+                if is_up[i]:
+                    cpu_tree.insert(int(gk[i]), int(gv[i]))
                 else:
-                    cpu_tree.delete(key)
-                stats.applied += 1
+                    cpu_tree.delete(int(gk[i]))
+            stats.applied += len(keep)
             # lock conflicts: two logical threads hitting the same
             # last-level node simultaneously; estimated from collisions
             # within thread-count-sized windows of the actual pattern
-            t = self.threads
-            for w in range(0, len(touched_nodes), t):
-                window = touched_nodes[w: w + t]
-                stats.lock_conflicts += len(window) - len(set(window))
+            t = max(1, self.threads)
+            touched = nodes[keep]
+            if len(touched):
+                pad = (-len(touched)) % t
+                # pad with distinct sentinels so they never collide
+                w = np.concatenate(
+                    [touched, -np.arange(1, pad + 1, dtype=np.int64)]
+                )
+                w = np.sort(w.reshape(-1, t), axis=1)
+                stats.lock_conflicts += int(np.sum(w[:, 1:] == w[:, :-1]))
             # single-threaded pass over the deferred (splitting) updates
-            for op, key, value in deferred:
-                if op == "upsert":
-                    cpu_tree.insert(key, value)
+            for i in defer.tolist():
+                if is_up[i]:
+                    cpu_tree.insert(int(gk[i]), int(gv[i]))
                 else:
-                    cpu_tree.delete(key)
-                stats.deferred += 1
-            parallel_ns = (
-                len(group) - len(deferred)
-            ) * per_update_ns * LOCK_OVERHEAD_FACTOR / min(
+                    cpu_tree.delete(int(gk[i]))
+            stats.deferred += len(defer)
+            parallel_ns = len(keep) * per_update_ns * LOCK_OVERHEAD_FACTOR / min(
                 ASYNC_PARALLEL_SPEEDUP, self.threads
             )
             conflict_ns = stats.lock_conflicts * per_update_ns * 0.5
-            serial_ns = len(deferred) * per_update_ns * 4.0  # splits are costly
+            serial_ns = len(defer) * per_update_ns * 4.0  # splits are costly
             stats.modify_ns += parallel_ns + conflict_ns + serial_ns
         if transfer:
             stats.transfer_ns = self.tree.mirror_i_segment()
@@ -200,10 +229,19 @@ class AsyncBatchUpdater:
 
 
 class SyncUpdater:
-    """The synchronized update method (modifying + synchronizing thread)."""
+    """The synchronized update method (modifying + synchronizing thread).
 
-    def __init__(self, tree: HBPlusTree):
+    ``batched=True`` (the default) drains the synchronizing thread's
+    queue through :meth:`HBPlusTree.sync_nodes`, which deduplicates
+    repeatedly-modified nodes and coalesces adjacent dirty mirror slots
+    into ranged transfers — fewer pushes on the open copy stream for
+    the same final mirror state.  ``batched=False`` keeps the original
+    per-node push, one transfer per modified node.
+    """
+
+    def __init__(self, tree: HBPlusTree, batched: bool = True):
         self.tree = tree
+        self.batched = batched
 
     def apply(
         self,
@@ -224,11 +262,10 @@ class SyncUpdater:
         ops += [("delete", int(k), 0) for k in deletes]
 
         node_bytes = self.tree.node_stride * 8
-        per_node_push_ns = (
-            node_bytes / self.tree.machine.pcie.bandwidth_gbs
-            + SYNC_NODE_OVERHEAD_NS
-        )
         structural = 0
+        rebuilt = False
+        dirty: List[int] = []
+        push_overhead_units = 0  # per-push bookkeeping on the open stream
         for op, key, value in ops:
             height_before = cpu_tree.height
             leaves_before = cpu_tree.leaves.count
@@ -241,26 +278,47 @@ class SyncUpdater:
             if (cpu_tree.leaves.count != leaves_before
                     or cpu_tree.height != height_before):
                 structural += 1
+            elif self.batched:
+                dirty.append(node)
             else:
                 # enqueue the modified last-level inner node
                 try:
-                    stats.transfer_ns += self.tree.sync_node(0, node)
+                    self.tree.sync_node(0, node)
                     stats.synced_nodes += 1
+                    push_overhead_units += 1
                 except FaultError:
                     # the push aborted mid-flight; the mirror is stale
                     # for this node — repair with the full rebuild below
                     stats.sync_faults += 1
                     structural += 1
+        if self.batched and dirty:
+            # drain the queue once: dedup + coalesce into ranged pushes
+            try:
+                mirror_stats = self.tree.sync_nodes(
+                    [(0, n) for n in dirty]
+                )
+                stats.synced_nodes = mirror_stats.nodes
+                push_overhead_units = mirror_stats.transfers
+                rebuilt = mirror_stats.rebuilt
+            except FaultError:
+                stats.sync_faults += 1
+                structural += 1
         rebuild_ns = 0.0
-        if structural:
+        if structural and not rebuilt:
             # splits/merges change node identities (and aborted pushes
             # leave stale nodes): fall back to a full mirror rebuild,
             # exactly once at the end
             rebuild_ns = self.tree.mirror_i_segment()
         stats.modify_ns = len(ops) * per_update_ns
         # the synchronizing thread overlaps the modifying thread; only
-        # the excess shows up as extra time
-        modeled_push = stats.synced_nodes * per_node_push_ns
+        # the excess shows up as extra time.  Pushes ride one open copy
+        # stream: bandwidth per node plus bookkeeping per push (the
+        # batched path issues fewer pushes for the same nodes)
+        modeled_push = (
+            stats.synced_nodes * node_bytes
+            / self.tree.machine.pcie.bandwidth_gbs
+            + push_overhead_units * SYNC_NODE_OVERHEAD_NS
+        )
         stats.transfer_ns = (
             max(0.0, modeled_push - stats.modify_ns)
             + (self.tree.machine.pcie.t_init_ns if stats.synced_nodes else 0.0)

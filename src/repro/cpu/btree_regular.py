@@ -277,6 +277,17 @@ class RegularCpuBPlusTree:
             self.l_segment, leaf * self.leaves.lines_per_leaf + line
         )
 
+    def _touch_leaf_lines(self, leaves: np.ndarray, lines: np.ndarray) -> None:
+        """Batched :meth:`_touch_leaf_line`; identical counter effects."""
+        if self.mem is None:
+            return
+        self._ensure_segments()
+        indices = (
+            np.asarray(leaves, dtype=np.int64) * self.leaves.lines_per_leaf
+            + np.asarray(lines, dtype=np.int64)
+        )
+        self.mem.touch_lines(self.l_segment, indices)
+
     # ------------------------------------------------------------------
     # node search (3 cache lines: index, key line, ref line)
 
@@ -355,6 +366,47 @@ class RegularCpuBPlusTree:
         idx = np.arange(len(q))[found]
         out[found] = self.leaves.values[node[idx], base[idx] + pos_c[idx]]
         return out
+
+    def descend_batch(self, queries: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised inner descent; returns ``(last_node, leaf_line)``.
+
+        The uninstrumented batch twin of :meth:`_descend` — used by the
+        batch updater to classify a whole update group at once.
+        """
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        node = np.full(len(q), self.root, dtype=np.int64)
+        for _level in range(self.height - 1, 0, -1):
+            keys = self.upper.keys[node]
+            slot = np.sum(keys < q[:, None], axis=1)
+            slot = np.minimum(slot, np.maximum(self.upper.size[node] - 1, 0))
+            node = self.upper.refs[node, slot]
+        keys = self.last.keys[node]
+        line = np.sum(keys < q[:, None], axis=1)
+        line = np.minimum(line, np.maximum(self.last.size[node] - 1, 0))
+        return node, line.astype(np.int64)
+
+    def leaf_chain(self) -> np.ndarray:
+        """Big-leaf pool indexes in leaf-chain (key) order."""
+        chain: List[int] = []
+        node = self._first_leaf
+        while node != _NIL:
+            chain.append(node)
+            node = int(self.leaves.next[node])
+        return np.asarray(chain, dtype=np.int64)
+
+    def stored_keys(self) -> np.ndarray:
+        """All stored keys in key order (vectorised :meth:`items` twin).
+
+        Gathers per-leaf key prefixes with one mask instead of a Python
+        loop per tuple; freed pool slots (which keep stale keys) are
+        excluded by walking the leaf chain.
+        """
+        chain = self.leaf_chain()
+        if len(chain) == 0 or self.num_tuples == 0:
+            return np.zeros(0, dtype=self.spec.dtype)
+        sizes = self.leaves.size[chain]
+        mask = np.arange(self.leaves.capacity_pairs) < sizes[:, None]
+        return self.leaves.keys[chain][mask]
 
     def range_query(self, lo: int, hi: int) -> List[Tuple[int, int]]:
         """All (key, value) pairs with ``lo <= key <= hi`` in order."""

@@ -18,6 +18,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.gpusim.device import GpuDevice
+from repro.gpusim.kernels.coalesce import warp_distinct as _warp_distinct
 from repro.gpusim.memory import DeviceBuffer
 
 
@@ -159,18 +160,3 @@ def implicit_search_from(
         k = np.sum(keys < q[active, None], axis=1).astype(np.int64)
         node[active] = node[active] * fanout + k
     return node
-
-
-def _warp_distinct(values: np.ndarray, group: int) -> int:
-    """Count distinct values within each consecutive group of ``group``."""
-    n = len(values)
-    total = 0
-    full = n // group * group
-    if full:
-        v = values[:full].reshape(-1, group)
-        s = np.sort(v, axis=1)
-        total += int(np.sum(s[:, 1:] != s[:, :-1])) + v.shape[0]
-    tail = values[full:]
-    if len(tail):
-        total += len(np.unique(tail))
-    return total

@@ -22,6 +22,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.gpusim.device import GpuDevice
+from repro.gpusim.kernels.coalesce import warp_distinct as _warp_distinct
 from repro.gpusim.memory import DeviceBuffer
 
 
@@ -166,18 +167,3 @@ def regular_search_vectorized(
         transactions += _warp_distinct(node * fanout + slot, teams_per_warp)
         node = refs_view[node + offset, slot].astype(np.int64)
     raise AssertionError("unreachable: height >= 1 always returns")
-
-
-def _warp_distinct(values: np.ndarray, group: int) -> int:
-    """Count distinct values within each consecutive group of ``group``."""
-    n = len(values)
-    total = 0
-    full = n // group * group
-    if full:
-        v = values[:full].reshape(-1, group)
-        s = np.sort(v, axis=1)
-        total += int(np.sum(s[:, 1:] != s[:, :-1])) + v.shape[0]
-    tail = values[full:]
-    if len(tail):
-        total += len(np.unique(tail))
-    return total

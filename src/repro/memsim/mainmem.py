@@ -126,6 +126,61 @@ class MemorySystem:
         """Access the ``line_index``-th cache line of ``segment``."""
         return self.touch(segment, line_index * self.line_size, self.line_size)
 
+    def touch_lines(self, segment: Segment, line_indices) -> int:
+        """Access many cache lines of ``segment``; returns total misses.
+
+        Counter-identical to calling :meth:`touch_line` per index in
+        order (the cache and TLB are stateful LRU models, so the walk
+        itself cannot be collapsed), but the address arithmetic is
+        vectorised and the counters are updated once per batch instead
+        of once per line — the profiling hot path of
+        ``profile_leaf_stage`` over large samples.
+        """
+        import numpy as np
+
+        idx = np.asarray(line_indices, dtype=np.int64).reshape(-1)
+        n = len(idx)
+        if n == 0:
+            return 0
+        ls = self.line_size
+        # bounds: validating the extremes covers every index between
+        segment.address_of(int(idx.min()) * ls)
+        segment.address_of(int(idx.max()) * ls + ls - 1)
+        addrs = ((segment.base + idx * ls) // ls) * ls
+        vpages = addrs // segment.page_size
+        seg_last_line = (segment.end - 1) // ls
+        lines = addrs // ls
+        kind = segment.page_kind
+        base = segment.base
+        translate = self.tlb.translate
+        access = self.cache.access
+        prefetcher = self.prefetcher
+        misses = 0
+        prefetches = 0
+        if prefetcher is None:
+            for vp, addr in zip(vpages.tolist(), addrs.tolist()):
+                translate(vp, kind)
+                if not access(addr):
+                    misses += 1
+        else:
+            observe = prefetcher.observe
+            for vp, addr, line in zip(
+                vpages.tolist(), addrs.tolist(), lines.tolist()
+            ):
+                translate(vp, kind)
+                if not access(addr):
+                    misses += 1
+                prefetches += observe(base, line, seg_last_line)
+        c = self.counters
+        c.prefetches += prefetches
+        c.line_accesses += n
+        c.cache_hits += n - misses
+        c.cache_misses += misses
+        c.tlb_hits = self.tlb.counters.tlb_hits
+        c.tlb_misses_small = self.tlb.counters.tlb_misses_small
+        c.tlb_misses_huge = self.tlb.counters.tlb_misses_huge
+        return misses
+
     def reset_counters(self) -> None:
         """Zero all counters (keeps cache/TLB *contents* warm)."""
         self.counters.reset()

@@ -257,21 +257,31 @@ def hybrid_bucket_costs(
     cpu_leaf_profile: CpuQueryProfile,
     cpu_model: Optional[CpuCostModel] = None,
     intermediate_bytes: Optional[int] = None,
+    unique_fraction: float = 1.0,
 ) -> BucketCosts:
     """Assemble T1-T4 for one bucket of the hybrid search.
 
     ``gpu_transactions_per_query`` and ``cpu_leaf_profile`` come from
     instrumented runs; everything else is machine constants.
+
+    ``unique_fraction`` prices the sorted/deduplicated pipeline: the
+    batch engine collapses duplicate queries before stage 1, so every
+    stage only processes ``bucket_size * unique_fraction`` effective
+    queries (the scatter back to arrival order is a cheap gather,
+    folded into the per-query stage overhead).
     """
+    if not 0.0 < unique_fraction <= 1.0:
+        raise ValueError("unique_fraction must be in (0, 1]")
     if cpu_model is None:
         cpu_model = CpuCostModel(machine.cpu)
     result_size = intermediate_bytes if intermediate_bytes else spec.size_bytes
-    t1 = machine.pcie.transfer_ns(bucket_size * spec.size_bytes)
+    effective = max(1, int(round(bucket_size * unique_fraction)))
+    t1 = machine.pcie.transfer_ns(effective * spec.size_bytes)
     gpu_model = GpuCostModel(machine.gpu, spec.gpu_threads_per_query)
     t2 = gpu_model.kernel_ns(
-        int(gpu_transactions_per_query * bucket_size), bucket_size, gpu_levels
+        int(gpu_transactions_per_query * effective), effective, gpu_levels
     )
-    t3 = machine.pcie.transfer_ns(bucket_size * result_size)
-    t4 = cpu_model.stage_time_ns(cpu_leaf_profile, bucket_size)
+    t3 = machine.pcie.transfer_ns(effective * result_size)
+    t4 = cpu_model.stage_time_ns(cpu_leaf_profile, effective)
     t4 += bucket_size * HYBRID_STAGE_OVERHEAD_NS / cpu_model.threads
     return BucketCosts(t1=t1, t2=t2, t3=t3, t4=t4)
