@@ -9,11 +9,27 @@ results to ``BENCH_pr2.json``.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py [--smoke] [--out PATH]
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --overlap [--smoke]
 
 ``--smoke`` shrinks the dataset for CI.  The script exits non-zero if a
 vectorised path is slower than its scalar reference by more than 1.5x,
 or if sorting a skewed bucket fails to reduce modeled transactions —
 the regression gate for the batch execution engine.
+
+``--overlap`` instead benchmarks the threaded overlap engine and writes
+``BENCH_pr3.json``.  Its gate always hard-fails on a bit-identity or
+modeled-counter mismatch (correctness is host-independent); the
+wall-clock requirements scale with the host's real parallelism, which
+the report records as ``cpu_count``:
+
+* the inline ``sequential`` topology must never be more than 1.5x
+  slower than the serial batch engine (pure overhead bound);
+* with >= 2 usable cores, no threaded topology may be more than 1.5x
+  slower than serial;
+* the full (non-smoke) run additionally requires >= 1.8x speedup from
+  a double-buffered topology with >= 4 CPU workers when the host has
+  >= 4 usable cores — on smaller hosts the speedup is reported but not
+  enforced, because threads cannot beat serial without cores to run on.
 """
 
 from __future__ import annotations
@@ -27,6 +43,77 @@ from pathlib import Path
 #: factor fails the gate
 MAX_SLOWDOWN = 1.5
 
+#: required full-run speedup of double-buffered overlap (>= 4 CPU
+#: workers) over the serial engine — enforced only with >= 4 real cores
+MIN_OVERLAP_SPEEDUP = 1.8
+
+
+def run_overlap_gate(args) -> int:
+    """Run the overlap benchmark and enforce its (core-aware) gate."""
+    from repro.bench.wallclock import run_overlap
+
+    report = run_overlap(smoke=args.smoke)
+    out = args.out or "BENCH_pr3.json"
+    Path(out).write_text(json.dumps(report, indent=2) + "\n")
+
+    cores = report["cpu_count"]
+    serial_ns = report["serial"]["wall_ns"]
+    model = report["model"]
+    print(f"wrote {out} ({report['mode']} mode, {cores} usable cores)")
+    print(
+        f"  tree: {report['keys']} keys, {report['queries']} queries, "
+        f"bucket {report['bucket_size']}"
+    )
+    print(f"  serial engine: {serial_ns / 1e6:.1f} ms")
+    for cfg in report["configs"]:
+        eff = cfg["stats"]["overlap_efficiency"]
+        print(
+            f"  {cfg['strategy']:>15} gpu={cfg['gpu_workers']} "
+            f"cpu={cfg['cpu_workers']}: {cfg['wall_ns'] / 1e6:.1f} ms "
+            f"({cfg['speedup_vs_serial']:.2f}x, overlap {eff:.2f}, "
+            f"identical={cfg['bit_identical']}, "
+            f"counters={cfg['counters_match']})"
+        )
+    print(
+        "  model steady state max(T2,T4): "
+        f"{model['predicted_steady_state_ns'] / 1e6:.2f} ms/bucket"
+    )
+
+    failures = []
+    for cfg in report["configs"]:
+        tag = (
+            f"{cfg['strategy']} (gpu={cfg['gpu_workers']}, "
+            f"cpu={cfg['cpu_workers']})"
+        )
+        if not cfg["bit_identical"]:
+            failures.append(f"{tag}: results differ from the serial engine")
+        if not cfg["counters_match"]:
+            failures.append(
+                f"{tag}: modeled device counters diverged from serial "
+                f"({cfg['counters']} vs {report['serial']['counters']})"
+            )
+        threaded = cfg["strategy"] != "sequential"
+        if (not threaded or cores >= 2) and \
+                cfg["speedup_vs_serial"] < 1.0 / MAX_SLOWDOWN:
+            failures.append(
+                f"{tag}: {1 / cfg['speedup_vs_serial']:.2f}x slower than "
+                f"serial (limit {MAX_SLOWDOWN}x)"
+            )
+    if report["mode"] == "full" and cores >= 4:
+        best = max(
+            (c["speedup_vs_serial"] for c in report["configs"]
+             if c["strategy"] == "double_buffered" and c["cpu_workers"] >= 4),
+            default=0.0,
+        )
+        if best < MIN_OVERLAP_SPEEDUP:
+            failures.append(
+                f"double-buffered (>=4 CPU workers) best speedup {best:.2f}x "
+                f"< required {MIN_OVERLAP_SPEEDUP}x on {cores} cores"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -35,21 +122,30 @@ def main(argv=None) -> int:
         help="small dataset for CI (seconds instead of minutes)",
     )
     parser.add_argument(
-        "--out", default="BENCH_pr2.json",
-        help="output JSON path (default: BENCH_pr2.json)",
+        "--overlap", action="store_true",
+        help="benchmark the threaded overlap engine (BENCH_pr3.json)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default: BENCH_pr2.json, or "
+             "BENCH_pr3.json with --overlap)",
     )
     args = parser.parse_args(argv)
+
+    if args.overlap:
+        return run_overlap_gate(args)
 
     from repro.bench.wallclock import run_wallclock
 
     report = run_wallclock(smoke=args.smoke)
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    out = args.out or "BENCH_pr2.json"
+    Path(out).write_text(json.dumps(report, indent=2) + "\n")
 
     mirror = report["mirror"]
     touch = report["touch"]
     zipf = report["lookup"]["zipf"]
     update = report["update"]
-    print(f"wrote {args.out} ({report['mode']} mode)")
+    print(f"wrote {out} ({report['mode']} mode)")
     print(f"  pack_i_segment speedup vs scalar: {mirror['pack_speedup']:.2f}x")
     print(f"  touch_lines speedup vs per-line:  {touch['speedup']:.2f}x")
     print(

@@ -43,6 +43,7 @@ from repro.core.gpu_update import GpuAssistedUpdater
 from repro.core.hbtree import HBPlusTree
 from repro.core.hbtree_implicit import ImplicitHBPlusTree
 from repro.core.load_balance import LoadBalancer
+from repro.core.overlap import OverlappedEngine, OverlapStats
 from repro.core.pipeline import BucketStrategy, PipelineSimulator
 from repro.core.resilience import (
     GpuUnavailable,
@@ -81,6 +82,8 @@ __all__ = [
     "SortedDelta",
     "measure_sorted_delta",
     "plan_bucket",
+    "OverlappedEngine",
+    "OverlapStats",
     "ResilientHBPlusTree",
     "ResilienceConfig",
     "ResilienceStats",

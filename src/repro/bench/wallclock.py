@@ -21,10 +21,18 @@ times the paths the batch engine and the vectorization work touch:
 ``benchmarks/bench_wallclock.py`` writes it to ``BENCH_pr2.json`` and
 enforces the no-regression gate (vectorised paths must not be slower
 than their scalar references).
+
+``run_overlap`` benchmarks the *threaded* overlap engine
+(:mod:`repro.core.overlap`): serial batch engine vs sequential /
+pipelined / double-buffered topologies, with bit-identity and
+modeled-counter parity checks and a join against the event-driven
+pipeline model's ``max(T2, T4)`` steady state.  The CLI writes it to
+``BENCH_pr3.json`` via ``--overlap``.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Callable, Dict
 
@@ -32,6 +40,8 @@ import numpy as np
 
 from repro.core.batching import BatchingEngine, measure_sorted_delta
 from repro.core.hbtree import HBPlusTree
+from repro.core.overlap import OverlappedEngine
+from repro.core.pipeline import BucketStrategy, PipelineSimulator
 from repro.core.update import AsyncBatchUpdater, SyncUpdater
 from repro.platform.configs import machine_m1
 from repro.workloads.generators import generate_dataset, generate_skewed_queries
@@ -167,6 +177,127 @@ def _bench_touch(tree: HBPlusTree, n_touches: int,
         "scalar_wall_ns": scalar_ns,
         "batched_wall_ns": batched_ns,
         "speedup": scalar_ns / max(1.0, batched_ns),
+    }
+
+
+#: thread topologies measured by :func:`run_overlap` — (strategy,
+#: gpu_workers, cpu_workers); ``sequential`` is the inline no-thread
+#: reference, the rest exercise real overlap
+OVERLAP_CONFIGS = (
+    ("sequential", 1, 1),
+    ("pipelined", 1, 2),
+    ("double_buffered", 2, 2),
+    ("double_buffered", 2, 4),
+)
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _device_counters(tree) -> Dict[str, int]:
+    c = tree.device.memory.counters
+    return {
+        "kernel_launches": int(tree.device.kernel_launches),
+        "transactions_64": int(c.transactions_64),
+        "bytes_moved": int(c.bytes_moved),
+    }
+
+
+def run_overlap(smoke: bool = False) -> Dict[str, Any]:
+    """Benchmark the threaded overlap engine; returns the BENCH_pr3 payload.
+
+    Measures each topology in :data:`OVERLAP_CONFIGS` against the serial
+    :class:`~repro.core.batching.BatchingEngine` on the same tree and
+    query stream, checking the three things the PR guarantees — bit-identical
+    results, identical modeled device counters, and the wall-clock
+    speedup — and joins the measurement against the event-driven
+    pipeline *model* (``max(T2, T4)`` steady state, Fig 6).
+
+    The full run uses a >=1M-key tree and >=256k queries; ``smoke``
+    shrinks both for CI.  ``cpu_count`` is recorded so the CLI gate can
+    skip the speedup requirement on hosts without real parallelism
+    (threads cannot beat serial on one core).
+    """
+    if smoke:
+        n_keys, n_queries, bucket = 1 << 15, 1 << 13, 1 << 10
+    else:
+        n_keys, n_queries, bucket = 1 << 20, 1 << 18, 1 << 14
+    repeats = 2 if smoke else 3
+    machine = machine_m1()
+    keys, values = generate_dataset(n_keys, seed=1234)
+    queries = make_point_queries(keys, n_queries, seed=77)
+    tree = HBPlusTree(keys, values, machine=machine)
+
+    # serial reference: results, counters and wall time
+    serial = BatchingEngine(tree, bucket_size=bucket)
+    tree.device.reset_counters()
+    ref = serial.lookup_batch(queries)
+    ref_counters = _device_counters(tree)
+    serial_ns = time_best_ns(lambda: serial.lookup_batch(queries), repeats)
+
+    configs = []
+    for strategy, gpu_workers, cpu_workers in OVERLAP_CONFIGS:
+        engine = OverlappedEngine(
+            tree, bucket_size=bucket, strategy=strategy,
+            gpu_workers=gpu_workers, cpu_workers=cpu_workers,
+        )
+        # one counted run for the correctness checks + stats snapshot
+        tree.device.reset_counters()
+        out = engine.lookup_batch(queries)
+        counters = _device_counters(tree)
+        snapshot = engine.stats.snapshot()
+        wall_ns = min(
+            float(snapshot["wall_ns"]),
+            time_best_ns(lambda e=engine: e.lookup_batch(queries), repeats),
+        )
+        configs.append({
+            "strategy": strategy,
+            "gpu_workers": gpu_workers,
+            "cpu_workers": cpu_workers,
+            "queue_depth": engine.queue_depth,
+            "wall_ns": wall_ns,
+            "speedup_vs_serial": serial_ns / max(1.0, wall_ns),
+            "bit_identical": bool(np.array_equal(out, ref)),
+            "counters_match": counters == ref_counters,
+            "counters": counters,
+            "stats": snapshot,
+        })
+
+    # join against the event-driven pipeline model (Fig 6)
+    costs = tree.bucket_costs(
+        bucket_size=bucket, sample=queries[:bucket], sort_batches=True
+    )
+    sim = PipelineSimulator(costs, BucketStrategy.DOUBLE_BUFFERED, bucket)
+    model_run = sim.run_queries(n_queries)
+    return {
+        "benchmark": "overlap",
+        "mode": "smoke" if smoke else "full",
+        "machine": machine.name,
+        "cpu_count": available_cpus(),
+        "keys": int(n_keys),
+        "queries": int(n_queries),
+        "bucket_size": int(bucket),
+        "serial": {
+            "wall_ns": serial_ns,
+            "counters": ref_counters,
+            "transactions_per_query": serial.stats.transactions_per_query,
+        },
+        "configs": configs,
+        "model": {
+            "t1_ns": costs.t1,
+            "t2_ns": costs.t2,
+            "t3_ns": costs.t3,
+            "t4_ns": costs.t4,
+            "predicted_steady_state_ns": max(costs.t2, costs.t4),
+            "double_buffered_makespan_ns": model_run.makespan_ns,
+            "double_buffered_throughput_qps": model_run.throughput_qps,
+            "timelines_head": model_run.timelines_df()[:4],
+        },
     }
 
 

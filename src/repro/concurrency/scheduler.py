@@ -106,11 +106,13 @@ class ThreadScheduler:
                 busy[t] += op.locked_ns
             clock[t] = now
         makespan = max(clock) if operations else 0.0
+        # detach the lock stats: the result must stay immutable even if
+        # the caller keeps (or reuses) a reference to the lock table
         return ScheduleResult(
             makespan_ns=makespan,
             thread_busy_ns=busy,
             thread_wait_ns=wait,
-            lock_stats=locks.stats,
+            lock_stats=locks.stats.copy(),
             operations=len(operations),
             per_tag_count=tags,
         )

@@ -10,6 +10,9 @@
 * :mod:`repro.core.update` — batch update execution (section 5.6),
 * :mod:`repro.core.batching` — sorted/deduplicated bucket execution
   (coalescing-aware batch engine; DESIGN.md §8),
+* :mod:`repro.core.overlap` — the *real* overlapped pipeline: a
+  double-buffered, multi-threaded CPU<->GPU engine executing buckets
+  through actual worker threads (DESIGN.md §9),
 * :mod:`repro.core.resilience` — fault-tolerant execution: retries,
   mirror checksum repair, circuit-breaker degradation to CPU-only
   service and recovery (beyond the paper; see DESIGN.md §7).
@@ -27,6 +30,7 @@ from repro.core.buckets import iter_buckets, num_buckets
 from repro.core.hbtree import HBPlusTree, MirrorSyncStats
 from repro.core.hbtree_implicit import ImplicitHBPlusTree
 from repro.core.load_balance import DiscoveryResult, LoadBalancer
+from repro.core.overlap import OverlappedEngine, OverlapStats, QueueStats
 from repro.core.pipeline import BucketStrategy, PipelineSimulator
 from repro.core.resilience import (
     CircuitBreaker,
@@ -52,6 +56,9 @@ __all__ = [
     "measure_sorted_delta",
     "plan_bucket",
     "MirrorSyncStats",
+    "OverlappedEngine",
+    "OverlapStats",
+    "QueueStats",
     "ResilientHBPlusTree",
     "ResilienceConfig",
     "ResilienceStats",

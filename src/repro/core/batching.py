@@ -188,8 +188,13 @@ class BatchingEngine:
         return values
 
     def lookup_batch(self, queries: Sequence) -> np.ndarray:
-        """Stream an arbitrary query array through sorted buckets."""
-        q = np.asarray(queries, dtype=self.tree.spec.dtype)
+        """Stream an arbitrary query array through sorted buckets.
+
+        Keys of any integer dtype coerce once (with overflow check) via
+        :meth:`repro.keys.KeySpec.coerce` — identical input handling to
+        ``HBPlusTree.lookup_batch``.
+        """
+        q = self.tree.spec.coerce(queries)
         if len(q) == 0:
             return np.zeros(0, dtype=self.tree.spec.dtype)
         parts = [

@@ -345,16 +345,35 @@ class HBPlusTree:
     # ------------------------------------------------------------------
     # search
 
-    def gpu_search_bucket(self, queries: np.ndarray) -> GpuSearchResult:
-        """Stage 2: 3-step descent of all inner levels on the GPU."""
+    def gpu_begin_bucket(self, n_queries: int) -> bool:
+        """Screen + count one bucket's kernel launch (stage-2 entry).
+
+        Mirrors exactly what :meth:`gpu_search_bucket` does before any
+        compute — the injector consultation and the launch counter —
+        so a concurrent engine can perform the (stateful, fault-bearing)
+        screening serially in dispatch order while the pure descent
+        runs on worker threads.  Returns False when the bucket launches
+        nothing (empty bucket).
+        """
+        if n_queries == 0:
+            return False
+        self.device.begin_launch()
+        return True
+
+    def gpu_descend(self, queries: np.ndarray) -> "tuple[np.ndarray, int]":
+        """Pure stage-2 descent: ``(codes, transactions)``.
+
+        No launch screening, no counter mutation — safe to call from
+        multiple threads concurrently (the mirror is read-only during
+        search).  Callers that want serial semantics should pair it
+        with :meth:`gpu_begin_bucket` and merge the transactions into
+        the device counters, which is what :meth:`gpu_search_bucket`
+        and :class:`repro.core.overlap.OverlappedEngine` both do.
+        """
         q = np.asarray(queries, dtype=self.spec.dtype)
         if len(q) == 0:
-            # an empty bucket launches nothing and costs nothing
-            return GpuSearchResult(
-                codes=np.zeros(0, dtype=np.int64), transactions=0
-            )
-        self.device.begin_launch()
-        codes, txns = regular_search_vectorized(
+            return np.zeros(0, dtype=np.int64), 0
+        return regular_search_vectorized(
             self.iseg_buffer.array,
             self.node_stride,
             self.spec.keys_per_line,
@@ -365,6 +384,16 @@ class HBPlusTree:
             q,
             teams_per_warp=self.teams_per_warp,
         )
+
+    def gpu_search_bucket(self, queries: np.ndarray) -> GpuSearchResult:
+        """Stage 2: 3-step descent of all inner levels on the GPU."""
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        if not self.gpu_begin_bucket(len(q)):
+            # an empty bucket launches nothing and costs nothing
+            return GpuSearchResult(
+                codes=np.zeros(0, dtype=np.int64), transactions=0
+            )
+        codes, txns = self.gpu_descend(q)
         self.device.memory.counters.transactions_64 += txns
         self.device.memory.counters.bytes_moved += txns * 64
         return GpuSearchResult(codes=codes, transactions=txns)
@@ -379,17 +408,7 @@ class HBPlusTree:
         q = np.asarray(queries, dtype=self.spec.dtype)
         if len(q) == 0:
             return 0
-        _codes, txns = regular_search_vectorized(
-            self.iseg_buffer.array,
-            self.node_stride,
-            self.spec.keys_per_line,
-            self.cpu_tree.fanout,
-            self.cpu_tree.height,
-            self.cpu_tree.root,
-            self.last_base,
-            q,
-            teams_per_warp=self.teams_per_warp,
-        )
+        _codes, txns = self.gpu_descend(q)
         return txns
 
     def gpu_search_bucket_literal(self, queries: np.ndarray) -> np.ndarray:
@@ -431,8 +450,14 @@ class HBPlusTree:
         return out
 
     def lookup_batch(self, queries: Sequence[int]) -> np.ndarray:
-        """Full hybrid lookup; the sentinel value marks not-found."""
-        q = np.asarray(queries, dtype=self.spec.dtype)
+        """Full hybrid lookup; the sentinel value marks not-found.
+
+        Accepts any integer dtype (or plain Python ints): keys are
+        coerced once via :meth:`repro.keys.KeySpec.coerce`, which raises
+        ``OverflowError`` on out-of-range keys instead of silently
+        wrapping them.
+        """
+        q = self.spec.coerce(queries)
         result = self.gpu_search_bucket(q)
         return self.cpu_finish_bucket(q, result.codes)
 

@@ -176,14 +176,31 @@ class ImplicitHBPlusTree:
     # ------------------------------------------------------------------
     # search
 
-    def gpu_search_bucket(self, queries: np.ndarray) -> GpuSearchResult:
-        """Stage 2: traverse all inner levels on the (simulated) GPU."""
+    def gpu_begin_bucket(self, n_queries: int) -> bool:
+        """Count one bucket's kernel launch (stage-2 entry).
+
+        The stateful prologue of :meth:`gpu_search_bucket`, split out so
+        a concurrent engine can run it serially in dispatch order while
+        the pure :meth:`gpu_descend` runs on worker threads.  Returns
+        False when the bucket launches nothing (empty bucket, or a
+        zero-depth GPU slice).
+        """
+        if n_queries == 0 or self.gpu_depth == 0:
+            return False
+        self.device.kernel_launches += 1
+        return True
+
+    def gpu_descend(self, queries: np.ndarray) -> "tuple[np.ndarray, int]":
+        """Pure stage-2 descent: ``(leaf_indices, transactions)``.
+
+        No launch counting, no counter mutation — thread-safe over the
+        read-only mirror.  ``gpu_depth == 0`` yields all-zero leaf
+        indices, matching :meth:`gpu_search_bucket`.
+        """
         q = np.asarray(queries, dtype=self.spec.dtype)
         if len(q) == 0 or self.gpu_depth == 0:
-            return GpuSearchResult(
-                leaf_indices=np.zeros(len(q), dtype=np.int64), transactions=0
-            )
-        leaf, txns = implicit_search_vectorized(
+            return np.zeros(len(q), dtype=np.int64), 0
+        return implicit_search_vectorized(
             self.iseg_buffer.array,
             self.level_offsets,
             self.level_sizes,
@@ -192,7 +209,15 @@ class ImplicitHBPlusTree:
             q,
             teams_per_warp=self.teams_per_warp,
         )
-        self.device.kernel_launches += 1
+
+    def gpu_search_bucket(self, queries: np.ndarray) -> GpuSearchResult:
+        """Stage 2: traverse all inner levels on the (simulated) GPU."""
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        if not self.gpu_begin_bucket(len(q)):
+            return GpuSearchResult(
+                leaf_indices=np.zeros(len(q), dtype=np.int64), transactions=0
+            )
+        leaf, txns = self.gpu_descend(q)
         self.device.memory.counters.transactions_64 += txns
         self.device.memory.counters.bytes_moved += txns * 64
         return GpuSearchResult(leaf_indices=leaf, transactions=txns)
@@ -205,17 +230,7 @@ class ImplicitHBPlusTree:
         arrival-order baseline of a sorted bucket.
         """
         q = np.asarray(queries, dtype=self.spec.dtype)
-        if len(q) == 0 or self.gpu_depth == 0:
-            return 0
-        _leaf, txns = implicit_search_vectorized(
-            self.iseg_buffer.array,
-            self.level_offsets,
-            self.level_sizes,
-            self.gpu_depth,
-            self.cpu_tree.fanout,
-            q,
-            teams_per_warp=self.teams_per_warp,
-        )
+        _leaf, txns = self.gpu_descend(q)
         return txns
 
     def gpu_search_bucket_literal(self, queries: np.ndarray) -> np.ndarray:
@@ -248,8 +263,12 @@ class ImplicitHBPlusTree:
         return out
 
     def lookup_batch(self, queries: Sequence[int]) -> np.ndarray:
-        """Full hybrid lookup; the sentinel value marks not-found."""
-        q = np.asarray(queries, dtype=self.spec.dtype)
+        """Full hybrid lookup; the sentinel value marks not-found.
+
+        Keys of any integer dtype (or Python ints) are coerced once via
+        :meth:`repro.keys.KeySpec.coerce`, with an overflow check.
+        """
+        q = self.spec.coerce(queries)
         result = self.gpu_search_bucket(q)
         return self.cpu_finish_bucket(q, result.leaf_indices)
 

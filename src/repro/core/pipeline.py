@@ -100,6 +100,31 @@ class PipelineRun:
         index = max(0, int(round(percentile / 100 * len(lats))) - 1)
         return lats[index]
 
+    def timelines_df(self) -> List[dict]:
+        """Structured export of every bucket timeline (list of dicts).
+
+        One row per bucket with every step boundary, the carried query
+        count (partial final bucket included) and the derived per-row
+        metrics — so benchmarks can join the model's prediction against
+        measured wall-clock data without poking at private attributes.
+        The rows are ``pandas.DataFrame``-ready but require nothing
+        beyond the standard library.
+        """
+        rows = []
+        for t in self.timelines:
+            rows.append({
+                "index": t.index,
+                "t1_start": t.t1_start,
+                "t1_end": t.t1_end,
+                "t2_end": t.t2_end,
+                "t3_end": t.t3_end,
+                "t4_end": t.t4_end,
+                "queries": self.bucket_size if t.queries is None else t.queries,
+                "completion_ns": t.completion,
+                "avg_query_latency_ns": t.latency_of_average_query(),
+            })
+        return rows
+
     @property
     def steady_state_bucket_ns(self) -> float:
         """Per-bucket cost once the pipeline is warm."""

@@ -15,7 +15,7 @@ model converts into time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 from typing import List, Optional, Sequence
 
 from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
@@ -34,15 +34,32 @@ class PipelineStats:
     #: cache misses with nothing to overlap (exposed latency)
     exposed_misses: int = 0
 
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def copy(self) -> "PipelineStats":
+        """A detached snapshot; mutating the live stats won't touch it."""
+        return replace(self)
+
 
 class SoftwarePipeline:
-    """Runs point lookups through Algorithm 2 on an implicit tree."""
+    """Runs point lookups through Algorithm 2 on an implicit tree.
+
+    ``stats`` accumulates across :meth:`run` calls by design (a
+    pipeline serves a stream); callers comparing runs should either
+    :meth:`reset_stats` between them or detach a snapshot with
+    :meth:`take_stats` — the accumulation is explicit, not a side
+    effect of a lazily-created attribute.
+    """
 
     def __init__(self, tree: ImplicitCpuBPlusTree, pipeline_len: int = 16):
         if pipeline_len < 1:
             raise ValueError("pipeline length must be >= 1")
         self.tree = tree
         self.pipeline_len = pipeline_len
+        self._stats = PipelineStats()
 
     def run(self, queries: Sequence[int]) -> List[Optional[int]]:
         """Resolve ``queries``; results match ``tree.lookup`` exactly."""
@@ -108,12 +125,17 @@ class SoftwarePipeline:
 
     @property
     def stats(self) -> PipelineStats:
-        if not hasattr(self, "_stats"):
-            self._stats = PipelineStats()
         return self._stats
 
     def reset_stats(self) -> None:
-        self._stats = PipelineStats()
+        self._stats.reset()
+
+    def take_stats(self) -> PipelineStats:
+        """Detach a snapshot of the accumulated stats and reset the
+        live object — the safe way to compare repeated runs."""
+        snap = self._stats.copy()
+        self._stats.reset()
+        return snap
 
     def effective_memory_parallelism(self, max_mlp: int = 10) -> int:
         """In-flight misses the pipeline can overlap, capped by the LFBs."""

@@ -21,6 +21,7 @@ inner node to the maximum value" so node search needs no size field.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,6 +75,54 @@ class KeySpec:
 
     def as_key_array(self, values) -> np.ndarray:
         return np.asarray(values, dtype=self.dtype)
+
+    def coerce(self, values) -> np.ndarray:
+        """Coerce any integer sequence to the key dtype, checked, once.
+
+        Accepts arrays of any integer dtype (and plain Python ints,
+        which may exceed 64 bits) and returns an array of ``dtype``.
+        Unlike a bare ``np.asarray(values, dtype=...)`` — which silently
+        wraps negative or oversized values — out-of-range keys raise
+        ``OverflowError`` and non-integer input raises ``TypeError``.
+        Arrays already of the key dtype pass through without a copy.
+        """
+        arr = np.asarray(values)
+        if arr.dtype == self.dtype:
+            return arr
+        if arr.dtype == object or (
+            not isinstance(values, np.ndarray)
+            and not np.issubdtype(arr.dtype, np.integer)
+        ):
+            # Python ints in [2**63, 2**64) make np.asarray fall back to
+            # float64 — re-read the original values exactly.  operator
+            # .index() rejects genuine floats with TypeError.
+            obj = np.asarray(values, dtype=object)
+            try:
+                flat = [operator.index(v) for v in obj.reshape(-1)]
+            except TypeError:
+                raise TypeError(
+                    f"keys must be integers, got dtype {arr.dtype!s}"
+                ) from None
+            bad = [v for v in flat if v < 0 or v > self.max_value]
+            if bad:
+                raise OverflowError(
+                    f"key {bad[0]} outside [0, {self.max_value}] for "
+                    f"{self.bits}-bit keys"
+                )
+            return np.asarray(flat, dtype=self.dtype).reshape(obj.shape)
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise TypeError(
+                f"keys must be integers, got dtype {arr.dtype!s}"
+            )
+        if arr.size:
+            lo = int(arr.min())
+            hi = int(arr.max())
+            if lo < 0 or hi > self.max_value:
+                raise OverflowError(
+                    f"key {lo if lo < 0 else hi} outside "
+                    f"[0, {self.max_value}] for {self.bits}-bit keys"
+                )
+        return arr.astype(self.dtype)
 
 
 KEY64 = KeySpec(bits=64, dtype=np.uint64)

@@ -118,3 +118,32 @@ class TestScheduler:
         r = ThreadScheduler(2).run(ops)
         # short ops all fit on the second thread while the first works
         assert r.makespan_ns == pytest.approx(1000.0)
+
+
+class TestLockStatsLifecycle:
+    def test_copy_is_detached(self):
+        locks = LockTable()
+        locks.acquire("a", 0.0, 100.0)
+        snap = locks.stats.copy()
+        locks.acquire("a", 0.0, 100.0)
+        assert snap.acquisitions == 1
+        assert locks.stats.acquisitions == 2
+
+    def test_reset_zeroes(self):
+        locks = LockTable()
+        locks.acquire("a", 0.0, 100.0)
+        locks.acquire("a", 0.0, 100.0)
+        locks.stats.reset()
+        assert locks.stats.acquisitions == 0
+        assert locks.stats.contended_acquisitions == 0
+        assert locks.stats.total_wait_ns == 0.0
+
+    def test_schedule_result_stats_survive_table_reuse(self):
+        """ScheduleResult.lock_stats must be a snapshot, not an alias."""
+        sched = ThreadScheduler(threads=2)
+        ops = [Operation(work_ns=10.0, lock="x", locked_ns=50.0)
+               for _ in range(4)]
+        first = sched.run(ops)
+        acquisitions = first.lock_stats.acquisitions
+        sched.run(ops)  # a second run must not mutate the first result
+        assert first.lock_stats.acquisitions == acquisitions

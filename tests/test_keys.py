@@ -75,3 +75,57 @@ class TestKeySpecLookup:
     def test_as_key_array_dtype(self):
         arr = KEY64.as_key_array([1, 2, 3])
         assert arr.dtype == np.uint64
+
+
+class TestCoerce:
+    def test_passthrough_no_copy(self):
+        arr = np.array([1, 2, 3], dtype=np.uint64)
+        assert KEY64.coerce(arr) is arr
+
+    def test_python_int_list(self):
+        out = KEY64.coerce([1, 2, 3])
+        assert out.dtype == np.uint64
+        assert out.tolist() == [1, 2, 3]
+
+    def test_python_ints_above_int64_stay_exact(self):
+        # NumPy turns a list of ints in [2**63, 2**64) into float64;
+        # coerce must recover the exact values
+        big = [2**64 - 2, 2**63 + 1, 5]
+        assert KEY64.coerce(big).tolist() == big
+
+    def test_any_integer_dtype_accepted(self):
+        for dt in (np.int8, np.uint16, np.int32, np.int64):
+            out = KEY64.coerce(np.array([7, 9], dtype=dt))
+            assert out.dtype == np.uint64
+            assert out.tolist() == [7, 9]
+
+    def test_negative_raises_overflow(self):
+        with pytest.raises(OverflowError):
+            KEY64.coerce([-1])
+        with pytest.raises(OverflowError):
+            KEY64.coerce(np.array([-5], dtype=np.int32))
+
+    def test_too_large_raises_overflow(self):
+        with pytest.raises(OverflowError):
+            KEY64.coerce([2**64])
+        with pytest.raises(OverflowError):
+            KEY32.coerce([2**32])
+
+    def test_float_raises_type_error(self):
+        with pytest.raises(TypeError):
+            KEY64.coerce([1.5])
+        with pytest.raises(TypeError):
+            KEY64.coerce(np.array([1.0, 2.0]))
+
+    def test_non_numeric_raises_type_error(self):
+        with pytest.raises(TypeError):
+            KEY64.coerce(["a"])
+
+    def test_32bit_range(self):
+        out = KEY32.coerce([2**32 - 1])
+        assert out.dtype == np.uint32
+        assert int(out[0]) == 2**32 - 1
+
+    def test_empty_list(self):
+        out = KEY64.coerce([])
+        assert out.dtype == np.uint64 and out.size == 0

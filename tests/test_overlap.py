@@ -1,0 +1,324 @@
+"""The threaded overlap engine (DESIGN.md §9).
+
+Everything here runs real worker threads, so the whole module carries
+the ``concurrency`` marker — CI runs it under a hard job timeout as a
+deadlock canary.  The properties verified:
+
+* **bit-identity** — every topology returns exactly the serial
+  :class:`~repro.core.batching.BatchingEngine`'s output, with exactly
+  the serial modeled device counters, for random trees, query streams
+  (duplicates included) and worker counts;
+* **fault determinism** — under an active :class:`FaultPlan` the
+  engine raises the same fault as the serial path with the same
+  injector schedule and the same counters (the in-flight buckets drain
+  before the raise);
+* **no deadlocks** — exceptions thrown mid-bucket from either stage,
+  with the smallest possible queues, abort the run promptly with every
+  worker joined;
+* **resilience integration** — a :class:`ResilientHBPlusTree` serving
+  through the engine keeps returning correct values while degrading
+  and recovering.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.batching import BatchingEngine
+from repro.core.hbtree import HBPlusTree
+from repro.core.hbtree_implicit import ImplicitHBPlusTree
+from repro.core.overlap import OverlappedEngine, OverlapStats, QueueStats
+from repro.core.resilience import ResilienceConfig, ResilientHBPlusTree
+from repro.faults import FaultInjector, FaultPlan
+from repro.platform.configs import machine_m1
+from repro.workloads.generators import generate_dataset
+
+pytestmark = pytest.mark.concurrency
+
+
+def device_counters(tree):
+    c = tree.device.memory.counters
+    return (
+        int(tree.device.kernel_launches),
+        int(c.transactions_64),
+        int(c.bytes_moved),
+    )
+
+
+def build_tree(n_keys, seed, implicit=False):
+    keys, values = generate_dataset(n_keys, seed=seed)
+    cls = ImplicitHBPlusTree if implicit else HBPlusTree
+    return cls(keys, values, machine=machine_m1()), keys
+
+
+def serial_reference(tree, queries, bucket):
+    tree.device.reset_counters()
+    engine = BatchingEngine(tree, bucket_size=bucket)
+    out = engine.lookup_batch(queries)
+    return out, device_counters(tree), engine.stats
+
+
+class TestBitIdentity:
+    @settings(
+        max_examples=8, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        n_keys=st.integers(200, 900),
+        n_queries=st.integers(1, 500),
+        bucket=st.sampled_from([32, 64, 128, 256]),
+        strategy=st.sampled_from(["pipelined", "double_buffered"]),
+        gpu_workers=st.integers(1, 3),
+        cpu_workers=st.integers(1, 4),
+        implicit=st.booleans(),
+        seed=st.integers(0, 2**16),
+    )
+    def test_matches_serial_engine(
+        self, n_keys, n_queries, bucket, strategy, gpu_workers,
+        cpu_workers, implicit, seed,
+    ):
+        if strategy == "pipelined":
+            gpu_workers = 1
+        tree, keys = build_tree(n_keys, seed, implicit=implicit)
+        rng = np.random.default_rng(seed + 1)
+        # duplicate-heavy mix of hits and misses
+        queries = rng.choice(keys, size=n_queries, replace=True)
+        miss_mask = rng.random(n_queries) < 0.2
+        queries[miss_mask] = rng.integers(
+            0, 2**40, size=int(miss_mask.sum()), dtype=np.uint64,
+        )
+        ref, ref_counters, ref_stats = serial_reference(tree, queries, bucket)
+
+        tree.device.reset_counters()
+        engine = OverlappedEngine(
+            tree, bucket_size=bucket, strategy=strategy,
+            gpu_workers=gpu_workers, cpu_workers=cpu_workers,
+            cpu_chunk_min=16,
+        )
+        out = engine.lookup_batch(queries)
+        np.testing.assert_array_equal(out, ref)
+        assert device_counters(tree) == ref_counters
+        assert engine.stats.buckets == ref_stats.buckets
+        assert engine.stats.queries == ref_stats.queries
+        assert engine.stats.unique == ref_stats.unique
+        assert engine.stats.transactions == ref_stats.transactions
+
+    def test_sequential_strategy_matches(self):
+        tree, keys = build_tree(1500, seed=11)
+        queries = np.concatenate([keys[:700], keys[:300]])
+        ref, ref_counters, _ = serial_reference(tree, queries, 128)
+        tree.device.reset_counters()
+        engine = OverlappedEngine(tree, bucket_size=128, strategy="sequential")
+        out = engine.lookup_batch(queries)
+        np.testing.assert_array_equal(out, ref)
+        assert device_counters(tree) == ref_counters
+
+    def test_empty_batch_spawns_no_threads(self):
+        tree, _keys = build_tree(300, seed=1)
+        before = threading.active_count()
+        out = OverlappedEngine(tree, bucket_size=64).lookup_batch([])
+        assert out.shape == (0,)
+        assert threading.active_count() == before
+
+    def test_accepts_python_ints_and_narrow_dtypes(self):
+        tree, keys = build_tree(400, seed=2)
+        engine = OverlappedEngine(tree, bucket_size=64)
+        ref = engine.lookup_batch(keys[:8])
+        as_py = engine.lookup_batch([int(k) for k in keys[:8]])
+        np.testing.assert_array_equal(as_py, ref)
+        narrow = (keys[:8] % np.uint64(2**31)).astype(np.int32)
+        ref_narrow = engine.lookup_batch(narrow.astype(np.uint64))
+        np.testing.assert_array_equal(
+            engine.lookup_batch(narrow), ref_narrow
+        )
+        with pytest.raises(OverflowError):
+            engine.lookup_batch([-1])
+        with pytest.raises(TypeError):
+            engine.lookup_batch(np.array([2.5]))
+
+
+class TestFaultDeterminism:
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        rate=st.sampled_from([0.05, 0.2, 0.5]),
+        fault_seed=st.integers(0, 2**16),
+        strategy=st.sampled_from(["pipelined", "double_buffered"]),
+    )
+    def test_same_fault_schedule_as_serial(self, rate, fault_seed, strategy):
+        plan = FaultPlan(seed=fault_seed, kernel_fail=rate)
+        keys, values = generate_dataset(1200, seed=5)
+        queries = np.tile(keys[:256], 8)  # 16 buckets of 128
+
+        def run(make_engine):
+            tree = HBPlusTree(
+                keys, values, machine=machine_m1(),
+                injector=FaultInjector(plan),
+            )
+            tree.device.reset_counters()
+            engine = make_engine(tree)
+            try:
+                out = engine.lookup_batch(queries)
+                err = None
+            except Exception as e:  # noqa: BLE001 - comparing fault types
+                out, err = None, e
+            return out, err, tree.injector.schedule(), device_counters(tree)
+
+        s_out, s_err, s_sched, s_counters = run(
+            lambda t: BatchingEngine(t, bucket_size=128)
+        )
+        o_out, o_err, o_sched, o_counters = run(
+            lambda t: OverlappedEngine(
+                t, bucket_size=128, strategy=strategy, cpu_workers=2,
+            )
+        )
+        assert (s_err is None) == (o_err is None)
+        if s_err is not None:
+            assert type(o_err) is type(s_err)
+            assert str(o_err) == str(s_err)
+        else:
+            np.testing.assert_array_equal(o_out, s_out)
+        assert o_sched == s_sched
+        assert o_counters == s_counters
+
+
+class TestShutdown:
+    """Exceptions mid-bucket with the tiniest queues must not deadlock."""
+
+    TIMEOUT_S = 30.0
+
+    def _run_expecting(self, tree, queries, exc_type, **engine_kw):
+        before = threading.active_count()
+        engine = OverlappedEngine(tree, queue_depth=1, **engine_kw)
+        t0 = time.perf_counter()
+        with pytest.raises(exc_type):
+            engine.lookup_batch(queries)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < self.TIMEOUT_S, "shutdown took pathologically long"
+        # every worker joined before lookup_batch raised
+        deadline = time.time() + 5.0
+        while threading.active_count() > before and time.time() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() == before
+
+    def test_cpu_stage_exception_mid_bucket(self, monkeypatch):
+        tree, keys = build_tree(1000, seed=7)
+        queries = np.tile(keys[:128], 16)
+        calls = []
+        real = tree.cpu_finish_bucket
+
+        def boom(sorted_unique, codes):
+            calls.append(1)
+            if len(calls) == 3:
+                raise RuntimeError("leaf stage blew up")
+            return real(sorted_unique, codes)
+
+        monkeypatch.setattr(tree, "cpu_finish_bucket", boom)
+        self._run_expecting(
+            tree, queries, RuntimeError, bucket_size=64,
+            strategy="double_buffered", gpu_workers=2, cpu_workers=3,
+            cpu_chunk_min=8,
+        )
+
+    def test_gpu_stage_exception_mid_bucket(self, monkeypatch):
+        tree, keys = build_tree(1000, seed=8)
+        queries = np.tile(keys[:128], 16)
+        calls = []
+        real = tree.gpu_descend
+
+        def boom(q):
+            calls.append(1)
+            if len(calls) == 2:
+                raise RuntimeError("descent blew up")
+            return real(q)
+
+        monkeypatch.setattr(tree, "gpu_descend", boom)
+        self._run_expecting(
+            tree, queries, RuntimeError, bucket_size=64,
+            strategy="pipelined", cpu_workers=2,
+        )
+
+    def test_screening_fault_drains_before_raising(self):
+        plan = FaultPlan(seed=3, kernel_fail=1.0)  # first launch faults
+        keys, values = generate_dataset(600, seed=9)
+        tree = HBPlusTree(
+            keys, values, machine=machine_m1(), injector=FaultInjector(plan),
+        )
+        before = threading.active_count()
+        engine = OverlappedEngine(tree, bucket_size=64, queue_depth=1)
+        with pytest.raises(Exception) as info:
+            engine.lookup_batch(np.tile(keys[:64], 4))
+        assert "kernel_fail" in str(info.value)
+        assert threading.active_count() == before
+
+
+class TestConstruction:
+    def test_pipelined_rejects_multiple_gpu_workers(self):
+        tree, _ = build_tree(300, seed=4)
+        with pytest.raises(ValueError):
+            OverlappedEngine(tree, strategy="pipelined", gpu_workers=2)
+
+    def test_worker_counts_validated(self):
+        tree, _ = build_tree(300, seed=4)
+        with pytest.raises(ValueError):
+            OverlappedEngine(tree, gpu_workers=0)
+        with pytest.raises(ValueError):
+            OverlappedEngine(tree, cpu_workers=0)
+        with pytest.raises(ValueError):
+            OverlappedEngine(tree, queue_depth=0)
+
+    def test_double_buffered_defaults_two_workers(self):
+        tree, _ = build_tree(300, seed=4)
+        engine = OverlappedEngine(tree)
+        assert engine.gpu_workers == 2
+        assert engine.queue_depth == 2
+
+    def test_stats_reset_preserves_queue_capacity(self):
+        stats = OverlapStats(
+            gpu_queue=QueueStats(capacity=3), cpu_queue=QueueStats(capacity=5),
+        )
+        stats.buckets = 7
+        stats.gpu_queue.sample(2)
+        stats.reset()
+        assert stats.buckets == 0
+        assert stats.gpu_queue.capacity == 3
+        assert stats.cpu_queue.capacity == 5
+        assert stats.gpu_queue.samples == 0
+
+
+class TestResilienceIntegration:
+    def test_engine_backed_resilient_tree_stays_correct(self):
+        keys, values = generate_dataset(1 << 11, seed=13)
+        lut = {int(k): int(v) for k, v in zip(keys, values)}
+        tree = HBPlusTree(keys, values, machine=machine_m1())
+        injector = FaultInjector(FaultPlan.uniform(0.08, seed=31))
+        engine = OverlappedEngine(
+            tree, bucket_size=256, strategy="double_buffered", cpu_workers=2,
+        )
+        resilient = ResilientHBPlusTree(
+            tree, injector=injector,
+            config=ResilienceConfig(breaker_threshold=2, probe_interval=4),
+            engine=engine,
+        )
+        before = threading.active_count()
+        rng = np.random.default_rng(17)
+        for _ in range(8):
+            q = rng.choice(keys, size=512)
+            out = resilient.lookup_batch(q)
+            expected = np.asarray([lut[int(k)] for k in q], dtype=out.dtype)
+            np.testing.assert_array_equal(out, expected)
+        # faults degraded and recovered without leaking a single worker
+        assert threading.active_count() == before
+
+    def test_engine_must_wrap_same_tree(self):
+        tree_a, _ = build_tree(300, seed=1)
+        tree_b, _ = build_tree(300, seed=2)
+        engine = OverlappedEngine(tree_b)
+        with pytest.raises(ValueError):
+            ResilientHBPlusTree(tree_a, engine=engine)

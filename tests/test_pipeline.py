@@ -216,3 +216,37 @@ class TestPartialFinalBucket:
         )
         with pytest.raises(ValueError):
             sim.run_queries(0)
+
+
+class TestTimelinesExport:
+    def test_timelines_df_shape_and_fields(self):
+        run = PipelineSimulator(
+            COSTS, BucketStrategy.DOUBLE_BUFFERED, 16384
+        ).run(5)
+        rows = run.timelines_df()
+        assert len(rows) == 5
+        expected_keys = {
+            "index", "t1_start", "t1_end", "t2_end", "t3_end", "t4_end",
+            "queries", "completion_ns", "avg_query_latency_ns",
+        }
+        for i, row in enumerate(rows):
+            assert set(row) == expected_keys
+            assert row["index"] == i
+            assert row["queries"] == 16384
+            assert row["completion_ns"] == row["t4_end"]
+            assert (row["t1_start"] <= row["t1_end"] <= row["t2_end"]
+                    <= row["t3_end"] <= row["t4_end"])
+
+    def test_timelines_df_partial_final_bucket(self):
+        sim = PipelineSimulator(COSTS, BucketStrategy.PIPELINED, 1000)
+        rows = sim.run_queries(2500).timelines_df()
+        assert [r["queries"] for r in rows] == [1000, 1000, 500]
+
+    def test_timelines_df_matches_derived_metrics(self):
+        run = PipelineSimulator(
+            COSTS, BucketStrategy.SEQUENTIAL, 1000
+        ).run(3)
+        rows = run.timelines_df()
+        assert max(r["completion_ns"] for r in rows) == run.makespan_ns
+        mean = sum(r["avg_query_latency_ns"] for r in rows) / len(rows)
+        assert mean == pytest.approx(run.mean_latency_ns)

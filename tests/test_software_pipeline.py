@@ -93,3 +93,43 @@ class TestInterleaving:
         assert SoftwarePipeline(tree, 16).effective_memory_parallelism(10) == 10
         assert SoftwarePipeline(tree, 4).effective_memory_parallelism(10) == 4
         assert SoftwarePipeline(tree, 1).effective_memory_parallelism(10) == 1
+
+
+class TestStatsLifecycle:
+    def test_stats_accumulate_across_runs(self, tree_with_mem):
+        tree, keys, _values = tree_with_mem
+        pipe = SoftwarePipeline(tree, pipeline_len=8)
+        pipe.run(keys[:32].tolist())
+        first = pipe.stats.queries
+        pipe.run(keys[:32].tolist())
+        assert pipe.stats.queries == 2 * first
+
+    def test_reset_stats_zeroes_in_place(self, tree_with_mem):
+        tree, keys, _values = tree_with_mem
+        pipe = SoftwarePipeline(tree, pipeline_len=8)
+        held = pipe.stats  # callers may hold the live object
+        pipe.run(keys[:32].tolist())
+        pipe.reset_stats()
+        assert held is pipe.stats
+        assert pipe.stats.queries == 0
+        assert pipe.stats.level_steps == 0
+        assert pipe.stats.overlapped_misses == 0
+        assert pipe.stats.exposed_misses == 0
+
+    def test_copy_is_detached(self, tree_with_mem):
+        tree, keys, _values = tree_with_mem
+        pipe = SoftwarePipeline(tree, pipeline_len=8)
+        pipe.run(keys[:32].tolist())
+        snap = pipe.stats.copy()
+        pipe.run(keys[:32].tolist())
+        assert pipe.stats.queries == 2 * snap.queries
+
+    def test_take_stats_snapshots_and_resets(self, tree_with_mem):
+        tree, keys, _values = tree_with_mem
+        pipe = SoftwarePipeline(tree, pipeline_len=8)
+        pipe.run(keys[:48].tolist())
+        snap = pipe.take_stats()
+        assert snap.queries == 48
+        assert pipe.stats.queries == 0
+        pipe.run(keys[:16].tolist())
+        assert snap.queries == 48  # detached from further runs
