@@ -10,6 +10,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py [--smoke] [--out PATH]
     PYTHONPATH=src python benchmarks/bench_wallclock.py --overlap [--smoke]
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --trace [--smoke]
 
 ``--smoke`` shrinks the dataset for CI.  The script exits non-zero if a
 vectorised path is slower than its scalar reference by more than 1.5x,
@@ -30,6 +31,15 @@ the report records as ``cpu_count``:
   a double-buffered topology with >= 4 CPU workers when the host has
   >= 4 usable cores — on smaller hosts the speedup is reported but not
   enforced, because threads cannot beat serial without cores to run on.
+
+``--trace`` benchmarks the observability layer (``repro.obs``) and
+writes ``BENCH_pr4.json`` plus a Perfetto-loadable Chrome trace
+(default ``<out stem>.trace.json``, load at https://ui.perfetto.dev).
+Its gate hard-fails if a tracing-enabled run is not bit-identical to a
+disabled run, if the modeled device counters diverge, if the exported
+trace fails schema validation (orphan ends, unbalanced spans), if the
+dispatcher / GPU-worker / CPU-pool tracks are missing from the trace,
+or if tracing inflates wall-clock past the overhead bound.
 """
 
 from __future__ import annotations
@@ -46,6 +56,11 @@ MAX_SLOWDOWN = 1.5
 #: required full-run speedup of double-buffered overlap (>= 4 CPU
 #: workers) over the serial engine — enforced only with >= 4 real cores
 MIN_OVERLAP_SPEEDUP = 1.8
+
+#: tracing may not inflate the overlap run's wall-clock past this
+#: factor (generous: span bodies are microseconds next to millisecond
+#: buckets, but smoke runs on loaded CI hosts are noisy)
+MAX_TRACE_OVERHEAD = 1.5
 
 
 def run_overlap_gate(args) -> int:
@@ -115,6 +130,66 @@ def run_overlap_gate(args) -> int:
     return 1 if failures else 0
 
 
+def run_trace_gate(args) -> int:
+    """Run the trace benchmark and enforce the observability gate."""
+    from repro.bench.wallclock import run_trace
+
+    out = args.out or "BENCH_pr4.json"
+    trace_path = str(Path(out).with_suffix("")) + ".trace.json"
+    report = run_trace(smoke=args.smoke, trace_path=trace_path)
+    Path(out).write_text(json.dumps(report, indent=2) + "\n")
+
+    trace = report["trace"]
+    print(f"wrote {out} ({report['mode']} mode, {report['cpu_count']} cores)")
+    print(f"wrote {trace_path} (load at https://ui.perfetto.dev)")
+    print(
+        f"  engine: {report['strategy']} gpu={report['gpu_workers']} "
+        f"cpu={report['cpu_workers']}, {report['queries']} queries, "
+        f"bucket {report['bucket_size']}"
+    )
+    print(
+        f"  untraced {report['untraced_wall_ns'] / 1e6:.1f} ms -> traced "
+        f"{report['traced_wall_ns'] / 1e6:.1f} ms "
+        f"({report['overhead_ratio']:.3f}x overhead)"
+    )
+    print(
+        f"  trace: {trace['events']} events, {trace['spans']} spans, "
+        f"tracks {trace['thread_names']}, valid={trace['valid']}"
+    )
+    print(
+        f"  identical={report['bit_identical']}, "
+        f"counters={report['counters_match']}"
+    )
+
+    failures = []
+    if not report["bit_identical"]:
+        failures.append("tracing-enabled run is not bit-identical to disabled")
+    if not report["counters_match"]:
+        failures.append(
+            "modeled device counters diverged under tracing "
+            f"({report['counters']['traced']} vs "
+            f"{report['counters']['untraced']})"
+        )
+    if not trace["valid"]:
+        failures.append(
+            f"trace failed schema validation: {trace['validation_errors']}"
+        )
+    tracks = set(trace["thread_names"])
+    for needed in ("overlap-gpu-0", "overlap-cpu-0"):
+        if needed not in tracks:
+            failures.append(f"trace is missing the {needed} thread track")
+    if not any("gpu" not in t and "cpu" not in t for t in tracks):
+        failures.append("trace is missing the dispatcher (caller) track")
+    if report["overhead_ratio"] > MAX_TRACE_OVERHEAD:
+        failures.append(
+            f"tracing overhead {report['overhead_ratio']:.2f}x exceeds "
+            f"the {MAX_TRACE_OVERHEAD}x bound"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -126,14 +201,21 @@ def main(argv=None) -> int:
         help="benchmark the threaded overlap engine (BENCH_pr3.json)",
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help="benchmark the observability layer and export a Perfetto "
+             "trace (BENCH_pr4.json + BENCH_pr4.trace.json)",
+    )
+    parser.add_argument(
         "--out", default=None,
-        help="output JSON path (default: BENCH_pr2.json, or "
-             "BENCH_pr3.json with --overlap)",
+        help="output JSON path (default: BENCH_pr2.json, "
+             "BENCH_pr3.json with --overlap, BENCH_pr4.json with --trace)",
     )
     args = parser.parse_args(argv)
 
     if args.overlap:
         return run_overlap_gate(args)
+    if args.trace:
+        return run_trace_gate(args)
 
     from repro.bench.wallclock import run_wallclock
 

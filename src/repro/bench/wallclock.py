@@ -28,6 +28,16 @@ pipelined / double-buffered topologies, with bit-identity and
 modeled-counter parity checks and a join against the event-driven
 pipeline model's ``max(T2, T4)`` steady state.  The CLI writes it to
 ``BENCH_pr3.json`` via ``--overlap``.
+
+``run_trace`` exercises the observability layer (:mod:`repro.obs`): a
+double-buffered overlap run with tracing off (explicit ``NULL_OBS``)
+and the same run with a live :class:`~repro.obs.Observability` bundle
+attached, checking the PR's guarantee — bit-identical results and
+identical modeled device counters either way — measuring the tracing
+overhead, and exporting the Chrome-trace-event JSON (Perfetto-loadable)
+with dispatcher / GPU-worker / CPU-pool spans on distinct thread
+tracks.  The CLI writes ``BENCH_pr4.json`` + the ``.trace.json``
+artifact via ``--trace``.
 """
 
 from __future__ import annotations
@@ -299,6 +309,104 @@ def run_overlap(smoke: bool = False) -> Dict[str, Any]:
             "timelines_head": model_run.timelines_df()[:4],
         },
     }
+
+
+def run_trace(smoke: bool = False, trace_path: str = None) -> Dict[str, Any]:
+    """Benchmark the observability layer; returns the BENCH_pr4 payload.
+
+    Runs the double-buffered overlap engine twice over the same tree
+    and query stream — once untraced (explicit ``NULL_OBS`` override so
+    the tree's attached bundle cannot leak in), once with a live
+    :class:`~repro.obs.Observability` bundle attached to the tree — and
+    verifies the layer's core guarantee: enabling tracing never changes
+    results or modeled counters.  The report records
+
+    * ``bit_identical`` / ``counters_match`` — the guarantee,
+    * ``overhead_ratio`` — traced / untraced best wall-clock,
+    * ``trace`` — span counts, thread-track names, inline schema
+      validation (:func:`repro.obs.validate_events`), and the exported
+      file path when ``trace_path`` is given,
+    * ``metrics`` — a sample of the unified registry snapshot
+      (``collect_all`` over tree + engine).
+    """
+    from repro.obs import NULL_OBS, Observability, validate_events
+    from repro.obs.export import collect_all
+
+    if smoke:
+        n_keys, n_queries, bucket = 1 << 15, 1 << 13, 1 << 10
+    else:
+        n_keys, n_queries, bucket = 1 << 20, 1 << 18, 1 << 14
+    repeats = 2 if smoke else 3
+    strategy, gpu_workers, cpu_workers = "double_buffered", 2, 2
+    machine = machine_m1()
+    keys, values = generate_dataset(n_keys, seed=1234)
+    queries = make_point_queries(keys, n_queries, seed=77)
+    tree = HBPlusTree(keys, values, machine=machine)
+
+    def make_engine(obs=None) -> OverlappedEngine:
+        return OverlappedEngine(
+            tree, bucket_size=bucket, strategy=strategy,
+            gpu_workers=gpu_workers, cpu_workers=cpu_workers, obs=obs,
+        )
+
+    # --- untraced reference ------------------------------------------------
+    plain = make_engine(obs=NULL_OBS)
+    plain_ns = float("inf")
+    for _ in range(repeats):
+        tree.device.reset_counters()
+        t0 = time.perf_counter_ns()
+        ref = plain.lookup_batch(queries)
+        plain_ns = min(plain_ns, float(time.perf_counter_ns() - t0))
+        ref_counters = _device_counters(tree)
+
+    # --- traced run --------------------------------------------------------
+    obs = Observability()
+    tree.attach_obs(obs)
+    traced = make_engine()  # follows the tree's bundle dynamically
+    traced_ns = float("inf")
+    for _ in range(repeats):
+        obs.reset()  # keep only the final repeat's events in the trace
+        tree.device.reset_counters()
+        t0 = time.perf_counter_ns()
+        out = traced.lookup_batch(queries)
+        traced_ns = min(traced_ns, float(time.perf_counter_ns() - t0))
+        traced_counters = _device_counters(tree)
+
+    errors = validate_events(obs.tracer.events)
+    thread_names = sorted(obs.tracer.thread_names().values())
+    metrics_snapshot = collect_all(
+        obs.metrics, tree=tree, engine=traced, engine_label="overlap"
+    )
+    report: Dict[str, Any] = {
+        "benchmark": "trace",
+        "mode": "smoke" if smoke else "full",
+        "machine": machine.name,
+        "cpu_count": available_cpus(),
+        "keys": int(n_keys),
+        "queries": int(n_queries),
+        "bucket_size": int(bucket),
+        "strategy": strategy,
+        "gpu_workers": gpu_workers,
+        "cpu_workers": cpu_workers,
+        "bit_identical": bool(np.array_equal(out, ref)),
+        "counters_match": traced_counters == ref_counters,
+        "counters": {"untraced": ref_counters, "traced": traced_counters},
+        "untraced_wall_ns": plain_ns,
+        "traced_wall_ns": traced_ns,
+        "overhead_ratio": traced_ns / max(1.0, plain_ns),
+        "trace": {
+            "events": len(obs.tracer.events),
+            "spans": obs.tracer.span_count(),
+            "thread_names": thread_names,
+            "valid": not errors,
+            "validation_errors": errors[:20],
+            "path": trace_path,
+        },
+        "metrics": metrics_snapshot,
+    }
+    if trace_path is not None:
+        obs.tracer.write(trace_path)
+    return report
 
 
 def run_wallclock(smoke: bool = False) -> Dict[str, Any]:

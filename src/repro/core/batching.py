@@ -37,6 +37,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.buckets import DEFAULT_BUCKET_SIZE, iter_buckets
+from repro.obs import NULL_OBS
 
 
 @dataclass(frozen=True)
@@ -139,13 +140,22 @@ class BatchingEngine:
     """
 
     def __init__(self, tree, bucket_size: Optional[int] = None,
-                 measure_baseline: bool = False):
+                 measure_baseline: bool = False, obs=None):
         self.tree = tree
         self.bucket_size = bucket_size or getattr(
             getattr(tree, "machine", None), "bucket_size", DEFAULT_BUCKET_SIZE
         )
         self.measure_baseline = measure_baseline
         self.stats = BatchStats()
+        #: explicit :class:`repro.obs.Observability` override; None
+        #: follows the tree's attached bundle dynamically
+        self._obs = obs
+
+    @property
+    def obs(self):
+        if self._obs is not None:
+            return self._obs
+        return getattr(self.tree, "obs", NULL_OBS)
 
     # ------------------------------------------------------------------
 
@@ -162,24 +172,39 @@ class BatchingEngine:
         ``values`` are in arrival order and bit-identical to
         ``tree.lookup_batch(queries)``.
         """
+        obs = self.obs
         plan = plan_bucket(queries, dtype=self.tree.spec.dtype)
         if plan.n_queries == 0:
             empty = np.zeros(0, dtype=self.tree.spec.dtype)
             return empty, self.tree.gpu_search_bucket(plan.sorted_unique)
-        result = self.tree.gpu_search_bucket(plan.sorted_unique)
-        if self.measure_baseline:
-            result.baseline_transactions = self.tree.modeled_transactions(
-                plan.queries
-            )
-            self.stats.baseline_transactions += result.baseline_transactions
-            self.stats.baselines_measured += 1
-        per_unique = self.tree.cpu_finish_bucket(
-            plan.sorted_unique, self._codes_of(result)
+        index = self.stats.buckets
+        obs.emit(
+            "bucket_start", index=index,
+            n_queries=plan.n_queries, n_unique=plan.n_unique,
         )
+        with obs.span("bucket", bucket=index, n_queries=plan.n_queries,
+                      n_unique=plan.n_unique):
+            with obs.span("gpu_descend", bucket=index):
+                result = self.tree.gpu_search_bucket(plan.sorted_unique)
+            if self.measure_baseline:
+                result.baseline_transactions = self.tree.modeled_transactions(
+                    plan.queries
+                )
+                self.stats.baseline_transactions += result.baseline_transactions
+                self.stats.baselines_measured += 1
+            with obs.span("cpu_finish", bucket=index):
+                per_unique = self.tree.cpu_finish_bucket(
+                    plan.sorted_unique, self._codes_of(result)
+                )
         self.stats.buckets += 1
         self.stats.queries += plan.n_queries
         self.stats.unique += plan.n_unique
         self.stats.transactions += result.transactions
+        obs.emit(
+            "bucket_end", index=index,
+            n_queries=plan.n_queries, n_unique=plan.n_unique,
+            transactions=result.transactions,
+        )
         return plan.scatter(per_unique), result
 
     def lookup_bucket(self, queries: Sequence) -> np.ndarray:

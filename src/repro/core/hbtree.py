@@ -37,6 +37,7 @@ from repro.gpusim.kernels.regular_search import (
 from repro.gpusim.transfer import PcieLink
 from repro.keys import key_spec
 from repro.memsim.mainmem import MemorySystem, PageConfig
+from repro.obs import NULL_OBS
 from repro.platform.configs import MachineConfig
 from repro.platform.costmodel import (
     BucketCosts,
@@ -123,6 +124,9 @@ class HBPlusTree:
         #: (a sync was interrupted mid-flight); cleared by a successful
         #: full :meth:`mirror_i_segment`
         self.mirror_stale = False
+        #: :class:`repro.obs.Observability`; the shared disabled bundle
+        #: until :meth:`attach_obs` threads a live one through
+        self.obs = NULL_OBS
         self.mirror_i_segment()
         if injector is not None:
             self.attach_injector(injector)
@@ -133,6 +137,15 @@ class HBPlusTree:
         self.injector = injector
         self.link.injector = injector
         self.device.injector = injector
+
+    def attach_obs(self, obs) -> None:
+        """Thread a :class:`repro.obs.Observability` bundle through the
+        PCIe link, the GPU device, and this tree (mirroring
+        :meth:`attach_injector`).  Engines constructed over this tree
+        without an explicit bundle follow it automatically."""
+        self.obs = obs
+        self.link.obs = obs
+        self.device.obs = obs
 
     # ------------------------------------------------------------------
     # GPU mirror
@@ -227,14 +240,16 @@ class HBPlusTree:
         ``mirror_stale`` remains True — the hazard the resilience layer
         (:mod:`repro.core.resilience`) exists to repair.
         """
-        self.mirror_stale = True
-        if self.injector is not None:
-            self.injector.on_sync()
-        flat = self.pack_i_segment()
-        self.last_base = self.cpu_tree.upper.count
-        t = self.link.to_device(self.device.memory, "iseg_regular", flat)
-        self.iseg_buffer = self.device.memory.get("iseg_regular")
-        self.mirror_stale = False
+        with self.obs.span("hbtree.mirror_i_segment"):
+            self.mirror_stale = True
+            if self.injector is not None:
+                self.injector.on_sync()
+            flat = self.pack_i_segment()
+            self.last_base = self.cpu_tree.upper.count
+            t = self.link.to_device(self.device.memory, "iseg_regular", flat)
+            self.iseg_buffer = self.device.memory.get("iseg_regular")
+            self.mirror_stale = False
+        self.obs.count("live.hbtree.mirror_uploads")
         return t
 
     def sync_node(self, level: int, node: int) -> float:
@@ -319,15 +334,19 @@ class HBPlusTree:
         stats = MirrorSyncStats(nodes=len(pairs), transfers=0, time_ns=0.0)
         was_stale = self.mirror_stale
         self.mirror_stale = True
-        for s, e in zip(starts.tolist(), ends.tolist()):
-            stats.time_ns += self.link.update_device(
-                self.device.memory,
-                "iseg_regular",
-                rows[s:e].reshape(-1),
-                offset_elems=int(slots[s]) * stride,
-            )
-            stats.transfers += 1
+        with self.obs.span("hbtree.sync_nodes", nodes=len(pairs),
+                           ranges=len(starts)):
+            for s, e in zip(starts.tolist(), ends.tolist()):
+                stats.time_ns += self.link.update_device(
+                    self.device.memory,
+                    "iseg_regular",
+                    rows[s:e].reshape(-1),
+                    offset_elems=int(slots[s]) * stride,
+                )
+                stats.transfers += 1
         self.mirror_stale = was_stale
+        self.obs.count("live.hbtree.synced_nodes", stats.nodes)
+        self.obs.count("live.hbtree.sync_transfers", stats.transfers)
         return stats
 
     @property

@@ -33,6 +33,7 @@ from repro.gpusim.kernels.implicit_search import (
 )
 from repro.gpusim.transfer import PcieLink
 from repro.keys import key_spec
+from repro.obs import NULL_OBS
 from repro.memsim.mainmem import MemorySystem, PageConfig
 from repro.platform.configs import MachineConfig
 from repro.platform.costmodel import (
@@ -124,7 +125,18 @@ class ImplicitHBPlusTree:
             segment_prefix="hb_implicit",
         )
         self.last_rebuild: Optional[RebuildTimes] = None
+        #: :class:`repro.obs.Observability`; the shared disabled bundle
+        #: until :meth:`attach_obs` threads a live one through
+        self.obs = NULL_OBS
         self._mirror_i_segment()
+
+    def attach_obs(self, obs) -> None:
+        """Thread a :class:`repro.obs.Observability` bundle through the
+        PCIe link, the GPU device, and this tree (same contract as
+        ``HBPlusTree.attach_obs``)."""
+        self.obs = obs
+        self.link.obs = obs
+        self.device.obs = obs
 
     # ------------------------------------------------------------------
     # GPU mirror

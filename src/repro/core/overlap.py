@@ -60,6 +60,7 @@ import numpy as np
 from repro.core.batching import BucketPlan, plan_bucket
 from repro.core.buckets import DEFAULT_BUCKET_SIZE, iter_buckets
 from repro.core.pipeline import BucketStrategy
+from repro.obs import NULL_OBS
 
 #: granularity of stop-aware queue waits (seconds); every blocking
 #: operation re-checks the stop flag at least this often, which is what
@@ -258,8 +259,13 @@ class OverlappedEngine:
         queue_depth: Optional[int] = None,
         measure_baseline: bool = False,
         cpu_chunk_min: int = 2048,
+        obs=None,
     ):
         self.tree = tree
+        #: explicit :class:`repro.obs.Observability` override; when
+        #: None the engine follows the tree's bundle dynamically (so
+        #: ``tree.attach_obs`` works regardless of construction order)
+        self._obs = obs
         self.bucket_size = bucket_size or getattr(
             getattr(tree, "machine", None), "bucket_size", DEFAULT_BUCKET_SIZE
         )
@@ -290,6 +296,14 @@ class OverlappedEngine:
         self.stats.gpu_queue.capacity = self.queue_depth
         self.stats.cpu_queue.capacity = self.cpu_queue_depth
 
+    @property
+    def obs(self):
+        """The live observability bundle (explicit override or the
+        tree's attached bundle; the shared disabled one otherwise)."""
+        if self._obs is not None:
+            return self._obs
+        return getattr(self.tree, "obs", NULL_OBS)
+
     # ------------------------------------------------------------------
 
     def lookup_batch(self, queries: Sequence) -> np.ndarray:
@@ -306,10 +320,14 @@ class OverlappedEngine:
             return out
         t0 = time.perf_counter_ns()
         try:
-            if self.strategy is BucketStrategy.SEQUENTIAL:
-                self._run_sequential(q, out)
-            else:
-                _OverlapRun(self, q, out).execute()
+            with self.obs.span(
+                "overlap.lookup_batch",
+                queries=len(q), strategy=self.strategy.value,
+            ):
+                if self.strategy is BucketStrategy.SEQUENTIAL:
+                    self._run_sequential(q, out)
+                else:
+                    _OverlapRun(self, q, out).execute()
         finally:
             self.stats.wall_ns += time.perf_counter_ns() - t0
         return out
@@ -319,29 +337,56 @@ class OverlappedEngine:
 
     def _run_sequential(self, q: np.ndarray, out: np.ndarray) -> None:
         tree = self.tree
+        obs = self.obs
         for index, bucket in enumerate(iter_buckets(q, self.bucket_size)):
+            # each timed region is accumulated at exactly one site (the
+            # finally), so a fault raised by the launch screening still
+            # books the time spent before it — and never twice
             t_plan = time.perf_counter_ns()
-            plan = plan_bucket(bucket, dtype=tree.spec.dtype)
-            launch = tree.gpu_begin_bucket(plan.n_unique)
-            self.stats.dispatch_busy_ns += time.perf_counter_ns() - t_plan
+            try:
+                with obs.span("plan_screen", bucket=index):
+                    plan = plan_bucket(bucket, dtype=tree.spec.dtype)
+                    obs.emit(
+                        "bucket_start", index=index,
+                        n_queries=plan.n_queries, n_unique=plan.n_unique,
+                    )
+                    launch = tree.gpu_begin_bucket(plan.n_unique)
+            finally:
+                self.stats.dispatch_busy_ns += time.perf_counter_ns() - t_plan
             t_gpu = time.perf_counter_ns()
-            if launch:
-                codes, txns = tree.gpu_descend(plan.sorted_unique)
-            else:
-                codes = np.zeros(plan.n_unique, dtype=np.int64)
-                txns = 0
-            if self.measure_baseline:
-                self.stats.baseline_transactions += tree.modeled_transactions(
-                    plan.queries
-                )
-                self.stats.baselines_measured += 1
-            self.stats.gpu_busy_ns += time.perf_counter_ns() - t_gpu
+            try:
+                with obs.span("gpu_descend", bucket=index,
+                              n_unique=plan.n_unique):
+                    if launch:
+                        codes, txns = tree.gpu_descend(plan.sorted_unique)
+                    else:
+                        codes = np.zeros(plan.n_unique, dtype=np.int64)
+                        txns = 0
+                    if self.measure_baseline:
+                        self.stats.baseline_transactions += \
+                            tree.modeled_transactions(plan.queries)
+                        self.stats.baselines_measured += 1
+            finally:
+                self.stats.gpu_busy_ns += time.perf_counter_ns() - t_gpu
             t_cpu = time.perf_counter_ns()
-            per_unique = tree.cpu_finish_bucket(plan.sorted_unique, codes)
-            start = index * self.bucket_size
-            out[start: start + plan.n_queries] = plan.scatter(per_unique)
-            self.stats.cpu_busy_ns += time.perf_counter_ns() - t_cpu
+            try:
+                with obs.span("cpu_finish", bucket=index,
+                              n_unique=plan.n_unique):
+                    per_unique = tree.cpu_finish_bucket(
+                        plan.sorted_unique, codes
+                    )
+                    start = index * self.bucket_size
+                    out[start: start + plan.n_queries] = plan.scatter(
+                        per_unique
+                    )
+            finally:
+                self.stats.cpu_busy_ns += time.perf_counter_ns() - t_cpu
             self._account_bucket(plan, txns)
+            obs.emit(
+                "bucket_end", index=index,
+                n_queries=plan.n_queries, n_unique=plan.n_unique,
+                transactions=txns,
+            )
 
     def _account_bucket(self, plan: BucketPlan, txns: int) -> None:
         """Merge one completed bucket into engine + device counters."""
@@ -458,22 +503,36 @@ class _OverlapRun:
 
     def _dispatch(self) -> None:
         eng = self.engine
+        obs = eng.obs
         for index, bucket in enumerate(iter_buckets(self.q, eng.bucket_size)):
             if self.stop.is_set():
                 break
+            # the timed region (plan + stateful screening) accumulates
+            # at exactly one site — the finally — so the fault branch
+            # and the fall-through can never both book the same
+            # interval (the double-count hazard this loop used to carry)
             t0 = time.perf_counter_ns()
-            plan = plan_bucket(bucket, dtype=self.tree.spec.dtype)
             try:
-                # stateful screening, serially in bucket order: the
-                # injector draw stream is identical to the serial path
-                launch = self.tree.gpu_begin_bucket(plan.n_unique)
-            except Exception as err:
-                # an injected launch fault: stop feeding, drain what is
-                # already in flight, re-raise after the join
-                self.fault = err
+                with obs.span("plan_screen", bucket=index):
+                    plan = plan_bucket(bucket, dtype=self.tree.spec.dtype)
+                    obs.emit(
+                        "bucket_start", index=index,
+                        n_queries=plan.n_queries, n_unique=plan.n_unique,
+                    )
+                    try:
+                        # stateful screening, serially in bucket order:
+                        # the injector draw stream is identical to the
+                        # serial path
+                        launch = self.tree.gpu_begin_bucket(plan.n_unique)
+                    except Exception as err:
+                        # an injected launch fault: stop feeding, drain
+                        # what is already in flight, re-raise after the
+                        # join
+                        self.fault = err
+            finally:
                 self.dispatch_busy += time.perf_counter_ns() - t0
+            if self.fault is not None:
                 break
-            self.dispatch_busy += time.perf_counter_ns() - t0
             item = (index, index * eng.bucket_size, plan, launch)
             if not self._put(self.gpu_q, item, eng.stats.gpu_queue):
                 break
@@ -482,6 +541,7 @@ class _OverlapRun:
 
     def _gpu_worker(self, wid: int) -> None:
         eng = self.engine
+        obs = eng.obs
         try:
             while True:
                 item = self._get(self.gpu_q)
@@ -489,11 +549,15 @@ class _OverlapRun:
                     break
                 index, start, plan, launch = item
                 t0 = time.perf_counter_ns()
-                if launch:
-                    codes, txns = self.tree.gpu_descend(plan.sorted_unique)
-                else:
-                    codes = np.zeros(plan.n_unique, dtype=np.int64)
-                    txns = 0
+                with obs.span("gpu_descend", bucket=index,
+                              n_unique=plan.n_unique):
+                    if launch:
+                        codes, txns = self.tree.gpu_descend(
+                            plan.sorted_unique
+                        )
+                    else:
+                        codes = np.zeros(plan.n_unique, dtype=np.int64)
+                        txns = 0
                 self.gpu_txns[wid] += txns
                 if eng.measure_baseline:
                     self.gpu_baseline[wid] += self.tree.modeled_transactions(
@@ -530,6 +594,7 @@ class _OverlapRun:
                 return
 
     def _cpu_worker(self, wid: int) -> None:
+        obs = self.engine.obs
         try:
             while True:
                 item = self._get(self.cpu_q)
@@ -537,21 +602,32 @@ class _OverlapRun:
                     break
                 state, a, b, txns = item
                 t0 = time.perf_counter_ns()
-                state.per_unique[a:b] = self.tree.cpu_finish_bucket(
-                    state.plan.sorted_unique[a:b], state.codes[a:b]
-                )
-                if state.chunk_done():
-                    # last chunk: inverse-scatter into the (disjoint)
-                    # output slice and book the completed bucket
-                    end = state.start + state.plan.n_queries
-                    self.out[state.start: end] = state.plan.scatter(
-                        state.per_unique
+                with obs.span("cpu_finish_chunk", bucket=state.index,
+                              lo=a, hi=b):
+                    state.per_unique[a:b] = self.tree.cpu_finish_bucket(
+                        state.plan.sorted_unique[a:b], state.codes[a:b]
                     )
-                    with self._done_lock:
-                        self.done_buckets += 1
-                        self.done_queries += state.plan.n_queries
-                        self.done_unique += state.plan.n_unique
+                    completed = state.chunk_done()
+                    if completed:
+                        # last chunk: inverse-scatter into the (disjoint)
+                        # output slice and book the completed bucket
+                        end = state.start + state.plan.n_queries
+                        self.out[state.start: end] = state.plan.scatter(
+                            state.per_unique
+                        )
+                        with self._done_lock:
+                            self.done_buckets += 1
+                            self.done_queries += state.plan.n_queries
+                            self.done_unique += state.plan.n_unique
                 self.cpu_busy[wid] += time.perf_counter_ns() - t0
+                if completed:
+                    # completion order, from a worker thread — handlers
+                    # must be thread-safe (see repro.obs.hooks)
+                    obs.emit(
+                        "bucket_end", index=state.index,
+                        n_queries=state.plan.n_queries,
+                        n_unique=state.plan.n_unique, transactions=txns,
+                    )
         except BaseException as err:
             self._fail(err)
 

@@ -68,6 +68,9 @@ class PipelineRun:
 
     @property
     def makespan_ns(self) -> float:
+        """Completion time of the last bucket; 0.0 for an empty run."""
+        if not self.timelines:
+            return 0.0
         return max(t.completion for t in self.timelines)
 
     @property
@@ -80,10 +83,24 @@ class PipelineRun:
 
     @property
     def throughput_qps(self) -> float:
-        return self.total_queries * 1e9 / self.makespan_ns
+        """Queries per second over the makespan.
+
+        Defined as 0.0 for degenerate runs — no buckets, zero carried
+        queries, or an all-zero cost model (makespan 0) — instead of
+        raising ``ZeroDivisionError`` / returning NaN: an idle or
+        costless pipeline serves nothing per second.
+        """
+        queries = self.total_queries
+        makespan = self.makespan_ns
+        if queries == 0 or makespan <= 0.0:
+            return 0.0
+        return queries * 1e9 / makespan
 
     @property
     def mean_latency_ns(self) -> float:
+        """Mean per-bucket average-query latency; 0.0 for an empty run."""
+        if not self.timelines:
+            return 0.0
         lats = [t.latency_of_average_query() for t in self.timelines]
         return sum(lats) / len(lats)
 
@@ -96,6 +113,8 @@ class PipelineRun:
         """
         if not 0 < percentile <= 100:
             raise ValueError("percentile must be in (0, 100]")
+        if not self.timelines:
+            return 0.0
         lats = sorted(t.latency_of_average_query() for t in self.timelines)
         index = max(0, int(round(percentile / 100 * len(lats))) - 1)
         return lats[index]

@@ -49,6 +49,7 @@ from repro.faults import (
     KernelLaunchFault,
     TransferTimeout,
 )
+from repro.obs import NULL_OBS
 from repro.platform.costmodel import CpuCostModel, HYBRID_STAGE_OVERHEAD_NS
 
 
@@ -234,8 +235,13 @@ class ResilientHBPlusTree:
         injector: Optional[FaultInjector] = None,
         config: Optional[ResilienceConfig] = None,
         engine=None,
+        obs=None,
     ):
         self.tree = tree
+        if obs is not None:
+            # thread the bundle through the tree (and so the link and
+            # device); engines over the same tree follow automatically
+            tree.attach_obs(obs)
         #: optional :class:`repro.core.overlap.OverlappedEngine` over
         #: the *same* tree; when set, hybrid batches are served through
         #: the real threaded pipeline.  The engine drains its in-flight
@@ -265,6 +271,11 @@ class ResilientHBPlusTree:
         self._ema_samples = 0
         self._calibrate()
         self._snapshot_expected()
+
+    @property
+    def obs(self):
+        """The tree's live :class:`repro.obs.Observability` bundle."""
+        return getattr(self.tree, "obs", NULL_OBS)
 
     # ------------------------------------------------------------------
     # calibration (fault-free: the injector is paused)
@@ -316,6 +327,11 @@ class ResilientHBPlusTree:
         """Fixed interrupt/error-path cost of absorbing one fault."""
         self.stats.faults_handled += 1
         self._charge_penalty(self.config.fault_overhead_ns)
+        obs = self.obs
+        obs.count("live.resilience.faults_handled")
+        obs.instant("fault", category="resilience",
+                    total=self.stats.faults_handled)
+        obs.emit("fault", total=self.stats.faults_handled)
 
     def _transfer_with_retry(self, fn, *args, **kwargs):
         """Run one transfer, retrying with backoff on injected faults."""
@@ -476,6 +492,14 @@ class ResilientHBPlusTree:
             self.breaker.trip()
             self.stats.degradations += 1
             self.stats.economic_degradations += 1
+            self._note_degrade("economic")
+
+    def _note_degrade(self, reason: str) -> None:
+        """Announce one breaker opening through every obs surface."""
+        obs = self.obs
+        obs.count("live.resilience.degradations", reason=reason)
+        obs.instant("degrade", category="resilience", reason=reason)
+        obs.emit("degrade", reason=reason)
 
     def _probe_recovery(self) -> bool:
         """Try to bring the GPU back: re-mirror, then a trial search
@@ -503,6 +527,9 @@ class ResilientHBPlusTree:
             ok = bool(np.array_equal(gpu_ans, cpu_ans))
         except GpuUnavailable:
             ok = False
+        obs = self.obs
+        obs.count("live.resilience.probes")
+        obs.emit("probe", ok=ok)
         if not ok:
             incurred = self.stats.penalty_ns - pen0
             self._charge_penalty(self.config.probe_budget_ns - incurred)
@@ -511,6 +538,9 @@ class ResilientHBPlusTree:
         self._hybrid_cost_ema = None
         self._ema_samples = 0
         self.stats.recoveries += 1
+        obs.count("live.resilience.recoveries")
+        obs.instant("recover", category="resilience")
+        obs.emit("recover")
         return True
 
     def lookup_batch(self, queries: Sequence[int]) -> np.ndarray:
@@ -524,34 +554,39 @@ class ResilientHBPlusTree:
             return q.copy()
         self.stats.batches += 1
         if self.breaker.open:
-            out = self._serve_cpu_only(q)
-            if self.breaker.note_degraded_batch():
-                self._probe_recovery()
+            with self.obs.span("resilient.lookup_batch", mode="cpu_only",
+                               queries=len(q)):
+                out = self._serve_cpu_only(q)
+                if self.breaker.note_degraded_batch():
+                    self._probe_recovery()
             return out
         pen0 = self.stats.penalty_ns
-        try:
-            self._ensure_healthy_mirror()
-            out = self._serve_hybrid(q)
-            self.breaker.record_success()
-            batch_ns = (
-                self.stats.penalty_ns - pen0
-                + self.hybrid_bucket_ns * len(q) / self.bucket_size
-            )
-            self._note_hybrid_cost(batch_ns / len(q))
-            return out
-        except GpuUnavailable:
-            self.stats.gpu_batch_failures += 1
-            if self.breaker.record_failure():
-                self.stats.degradations += 1
-            out = self._serve_cpu_only(q)
-            # a failed hybrid attempt costs its penalties *plus* the
-            # CPU-only fallback — that is its effective hybrid cost
-            batch_ns = (
-                self.stats.penalty_ns - pen0
-                + len(q) * self.cpu_only_query_ns
-            )
-            self._note_hybrid_cost(batch_ns / len(q))
-            return out
+        with self.obs.span("resilient.lookup_batch", mode="hybrid",
+                           queries=len(q)):
+            try:
+                self._ensure_healthy_mirror()
+                out = self._serve_hybrid(q)
+                self.breaker.record_success()
+                batch_ns = (
+                    self.stats.penalty_ns - pen0
+                    + self.hybrid_bucket_ns * len(q) / self.bucket_size
+                )
+                self._note_hybrid_cost(batch_ns / len(q))
+                return out
+            except GpuUnavailable:
+                self.stats.gpu_batch_failures += 1
+                if self.breaker.record_failure():
+                    self.stats.degradations += 1
+                    self._note_degrade("consecutive_failures")
+                out = self._serve_cpu_only(q)
+                # a failed hybrid attempt costs its penalties *plus* the
+                # CPU-only fallback — that is its effective hybrid cost
+                batch_ns = (
+                    self.stats.penalty_ns - pen0
+                    + len(q) * self.cpu_only_query_ns
+                )
+                self._note_hybrid_cost(batch_ns / len(q))
+                return out
 
     def lookup(self, key: int) -> Optional[int]:
         out = self.lookup_batch(
@@ -595,6 +630,7 @@ class ResilientHBPlusTree:
                 self.stats.gpu_batch_failures += 1
                 if self.breaker.record_failure():
                     self.stats.degradations += 1
+                    self._note_degrade("consecutive_failures")
                 self._snapshot_expected()
                 return stats
         self._snapshot_expected()

@@ -6,6 +6,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.gpusim.memory import DeviceMemory
 from repro.gpusim.simt import GpuKernelStats, KernelLaunch
+from repro.obs import NULL_OBS
 from repro.platform.configs import GpuSpec
 
 
@@ -28,6 +29,9 @@ class GpuDevice:
         self.stats = GpuKernelStats()
         #: optional :class:`repro.faults.FaultInjector`
         self.injector = injector
+        #: :class:`repro.obs.Observability`; the shared disabled bundle
+        #: unless threaded in via ``HBPlusTree.attach_obs``
+        self.obs = NULL_OBS
 
     def begin_launch(self) -> None:
         """Screen + count one kernel launch (vectorised kernels call
@@ -38,6 +42,7 @@ class GpuDevice:
         launch counter still advances — the launch was attempted.
         """
         self.kernel_launches += 1
+        self.obs.count("live.gpu.kernel_launches")
         if self.injector is not None:
             self.injector.on_kernel_launch()
 
@@ -60,7 +65,12 @@ class GpuDevice:
             shared_banks=self.spec.shared_mem_banks,
             fault_hook=self.begin_launch,
         )
-        stats = launch.run(*args)
+        with self.obs.span(
+            "gpu.kernel", category="gpu",
+            kernel=getattr(kernel_fn, "__name__", "kernel"),
+            grid_dim=grid_dim,
+        ):
+            stats = launch.run(*args)
         self.stats.merge(stats)
         return stats
 

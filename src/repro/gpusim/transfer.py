@@ -23,6 +23,7 @@ from typing import Optional
 import numpy as np
 
 from repro.gpusim.memory import DeviceBuffer, DeviceMemory
+from repro.obs import NULL_OBS
 from repro.platform.configs import PcieSpec
 
 
@@ -54,6 +55,9 @@ class PcieLink:
         self.stats = TransferStats()
         #: optional :class:`repro.faults.FaultInjector`
         self.injector = injector
+        #: :class:`repro.obs.Observability`; the shared disabled bundle
+        #: unless threaded in via ``HBPlusTree.attach_obs``
+        self.obs = NULL_OBS
 
     def time_ns(self, nbytes: int) -> float:
         """Cost of one transfer of ``nbytes`` (either direction)."""
@@ -78,11 +82,14 @@ class PcieLink:
     ) -> float:
         """Upload ``host_array`` into buffer ``name``; returns time (ns)."""
         t = self.time_ns(host_array.nbytes)  # validates the size first
-        self._check_fault(host_array.nbytes)
-        memory.upload(name, host_array)
+        with self.obs.span("pcie.h2d", category="pcie", buffer=name,
+                           bytes=host_array.nbytes, modeled_ns=t):
+            self._check_fault(host_array.nbytes)
+            memory.upload(name, host_array)
         self.stats.transfers += 1
         self.stats.bytes_to_device += host_array.nbytes
         self.stats.total_time_ns += t
+        self.obs.count("live.pcie.bytes_to_device", host_array.nbytes)
         return t
 
     def update_device(
@@ -110,18 +117,25 @@ class PcieLink:
         if offset_elems + src.size > flat.size:
             raise ValueError("partial update exceeds device buffer bounds")
         t = self.time_ns(src.nbytes)  # rejects zero-size uploads
-        self._check_fault(src.nbytes)
-        flat[offset_elems: offset_elems + src.size] = src
+        with self.obs.span("pcie.h2d_update", category="pcie", buffer=name,
+                           bytes=src.nbytes, modeled_ns=t):
+            self._check_fault(src.nbytes)
+            flat[offset_elems: offset_elems + src.size] = src
         self.stats.transfers += 1
         self.stats.bytes_to_device += src.nbytes
         self.stats.total_time_ns += t
+        self.obs.count("live.pcie.bytes_to_device", src.nbytes)
         return t
 
     def to_host(self, buffer: DeviceBuffer) -> "tuple[np.ndarray, float]":
         """Download a buffer; returns (array copy, time ns)."""
         t = self.time_ns(buffer.nbytes)
-        self._check_fault(buffer.nbytes)
+        with self.obs.span("pcie.d2h", category="pcie",
+                           bytes=buffer.nbytes, modeled_ns=t):
+            self._check_fault(buffer.nbytes)
+            copy = buffer.array.copy()
         self.stats.transfers += 1
         self.stats.bytes_to_host += buffer.nbytes
         self.stats.total_time_ns += t
-        return buffer.array.copy(), t
+        self.obs.count("live.pcie.bytes_to_host", buffer.nbytes)
+        return copy, t

@@ -89,6 +89,14 @@ class KeySpec:
         arr = np.asarray(values)
         if arr.dtype == self.dtype:
             return arr
+        if arr.dtype == np.bool_:
+            # bool subclasses int, so operator.index(True) == 1 would
+            # silently pass below — but a boolean is not a key; reject
+            # scalars, lists and arrays of bool/np.bool_ alike
+            raise TypeError(
+                "keys must be integers, got booleans (bool is not a "
+                "key type even though it subclasses int)"
+            )
         if arr.dtype == object or (
             not isinstance(values, np.ndarray)
             and not np.issubdtype(arr.dtype, np.integer)
@@ -97,8 +105,16 @@ class KeySpec:
             # float64 — re-read the original values exactly.  operator
             # .index() rejects genuine floats with TypeError.
             obj = np.asarray(values, dtype=object)
+            flat_obj = obj.reshape(-1)
+            if any(isinstance(v, (bool, np.bool_)) for v in flat_obj):
+                # mixed object lists like [2**63, True] reach this path;
+                # operator.index would accept the bool — reject it
+                raise TypeError(
+                    "keys must be integers, got booleans (bool is not "
+                    "a key type even though it subclasses int)"
+                )
             try:
-                flat = [operator.index(v) for v in obj.reshape(-1)]
+                flat = [operator.index(v) for v in flat_obj]
             except TypeError:
                 raise TypeError(
                     f"keys must be integers, got dtype {arr.dtype!s}"

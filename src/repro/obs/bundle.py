@@ -1,0 +1,82 @@
+"""The ``Observability`` bundle components actually hold.
+
+One object carries all three surfaces — :class:`~repro.obs.trace.Tracer`,
+:class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.hooks.HookSet` — plus thin convenience wrappers so a
+call site is a single short line (``obs.span(...)``, ``obs.count(...)``,
+``obs.emit(...)``).  Every instrumented component defaults to the shared
+:data:`NULL_OBS`, whose tracer and registry are disabled and whose hook
+set is frozen: the disabled cost at a call site is one attribute load
+and one branch.
+
+Attachment mirrors the fault injector's pattern:
+``HBPlusTree.attach_obs(obs)`` threads the bundle through the PCIe
+link, the GPU device and the tree itself; engines constructed without
+an explicit ``obs`` follow their tree's bundle dynamically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.hooks import HookSet
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class Observability:
+    """Tracer + metrics + hooks, enabled or disabled as one unit."""
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        hooks: Optional[HookSet] = None,
+        enabled: bool = True,
+    ):
+        self.enabled = enabled
+        self.tracer = tracer if tracer is not None else Tracer(enabled=enabled)
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(enabled=enabled)
+        )
+        self.hooks = hooks if hooks is not None else HookSet(frozen=not enabled)
+
+    # -- convenience wrappers (each one branch when disabled) ----------
+
+    def span(self, name: str, category: str = "repro", **args):
+        return self.tracer.span(name, category, **args)
+
+    def instant(self, name: str, category: str = "repro", **args) -> None:
+        self.tracer.instant(name, category, **args)
+
+    def count(self, name: str, n: int = 1, **labels) -> None:
+        if self.metrics.enabled:
+            self.metrics.counter(name, **labels).inc(n)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        if self.metrics.enabled:
+            self.metrics.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        if self.metrics.enabled:
+            self.metrics.histogram(name, **labels).observe(value)
+
+    def emit(self, event: str, **payload) -> None:
+        self.hooks.emit(event, **payload)
+
+    def reset(self) -> None:
+        """Drop trace events and zero every metric (hooks stay
+        subscribed — subscriptions are configuration, not state)."""
+        self.tracer.reset()
+        self.metrics.reset()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"Observability({state}, events={len(self.tracer.events)}, "
+            f"series={len(self.metrics)})"
+        )
+
+
+#: the shared disabled bundle; never subscribe/record on it
+NULL_OBS = Observability(enabled=False)

@@ -1,0 +1,119 @@
+"""Bridges from the existing per-module stats objects into a registry.
+
+The simulator already accounts everything — but in scattered shapes:
+``BatchStats`` / ``OverlapStats`` on the engines, ``ResilienceStats``
+on the resilient tree, ``TransferStats`` on the PCIe link,
+``AccessCounters`` in the memory system, ``GpuKernelStats`` +
+``kernel_launches`` on the device, ``MirrorSyncStats`` per sync batch,
+``PipelineStats`` / ``LockStats`` in the CPU layers.  These exporters
+flatten any of them into one :class:`~repro.obs.metrics.MetricsRegistry`
+under a common naming scheme, with labeled dimensions, so a benchmark
+(or an operator) reads one ``snapshot()`` instead of seven objects.
+
+All exporters are *pull*-style and side-effect-free on the source
+objects: call them whenever a consistent cut is wanted.  Values land as
+gauges (they are snapshots of externally-owned accumulators, not
+registry-owned counts).
+
+Naming convention: these snapshot gauges own the canonical names
+(``gpu.kernel_launches``, ``pcie.bytes_to_device``, ...).  Push-style
+counters recorded live by instrumented components use a ``live.``
+prefix (``live.gpu.kernel_launches``) so the two never collide in the
+registry, which rejects same-name registrations of different kinds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def stats_dict(obj: Any) -> Dict[str, Any]:
+    """A plain-dict view of any stats object.
+
+    Prefers the object's own ``snapshot()``; falls back to dataclass
+    fields.  Nested dicts are kept (``publish`` flattens them).
+    """
+    snap = getattr(obj, "snapshot", None)
+    if callable(snap):
+        return snap()
+    if dataclasses.is_dataclass(obj):
+        return dataclasses.asdict(obj)
+    raise TypeError(f"cannot snapshot {type(obj).__name__}")
+
+
+def _flatten(prefix: str, mapping: Dict[str, Any], out: Dict[str, float]) -> None:
+    for name, value in mapping.items():
+        key = f"{prefix}.{name}" if prefix else str(name)
+        if isinstance(value, dict):
+            _flatten(key, value, out)
+        elif isinstance(value, bool):
+            out[key] = int(value)
+        elif isinstance(value, (int, float)):
+            out[key] = value
+        # non-numeric payloads (strings, arrays) are not metric material
+
+
+def publish(metrics: MetricsRegistry, prefix: str, obj: Any,
+            **labels) -> None:
+    """Flatten one stats object into gauges under ``prefix.*``."""
+    flat: Dict[str, float] = {}
+    _flatten(prefix, stats_dict(obj), flat)
+    for name, value in flat.items():
+        metrics.gauge(name, **labels).set(value)
+
+
+def publish_device(metrics: MetricsRegistry, device, **labels) -> None:
+    """GPU device: launch counter, memory counters, kernel stats."""
+    metrics.gauge("gpu.kernel_launches", **labels).set(device.kernel_launches)
+    publish(metrics, "gpu.mem", device.memory.counters, **labels)
+    publish(metrics, "gpu.kernel", device.stats, **labels)
+
+
+def publish_link(metrics: MetricsRegistry, link, **labels) -> None:
+    """PCIe link: the :class:`~repro.gpusim.transfer.TransferStats`."""
+    publish(metrics, "pcie", link.stats, **labels)
+
+
+def publish_memory(metrics: MetricsRegistry, mem, **labels) -> None:
+    """CPU memory system: the :class:`AccessCounters` snapshot."""
+    publish(metrics, "mem", mem.counters, **labels)
+
+
+def publish_tree(metrics: MetricsRegistry, tree, **labels) -> None:
+    """Everything a hybrid tree owns: device, link, host memory."""
+    publish_device(metrics, tree.device, **labels)
+    publish_link(metrics, tree.link, **labels)
+    publish_memory(metrics, tree.mem, **labels)
+
+
+def publish_engine(metrics: MetricsRegistry, engine,
+                   engine_label: str, **labels) -> None:
+    """A batch/overlap engine's stats under an ``engine=`` label."""
+    publish(metrics, "engine", engine.stats, engine=engine_label, **labels)
+
+
+def publish_resilience(metrics: MetricsRegistry, resilient,
+                       **labels) -> None:
+    """A :class:`ResilientHBPlusTree`: stats + breaker state."""
+    publish(metrics, "resilience", resilient.stats, **labels)
+    state = "degraded" if resilient.degraded else "hybrid"
+    metrics.gauge("resilience.degraded", state=state, **labels).set(
+        int(resilient.degraded)
+    )
+
+
+def collect_all(metrics: MetricsRegistry, tree=None, engine=None,
+                engine_label: str = "batch", resilient=None,
+                **labels) -> Dict[str, Any]:
+    """One-call convenience: publish whatever is given, return the
+    registry snapshot."""
+    if tree is not None:
+        publish_tree(metrics, tree, **labels)
+    if engine is not None:
+        publish_engine(metrics, engine, engine_label, **labels)
+    if resilient is not None:
+        publish_resilience(metrics, resilient, **labels)
+    return metrics.snapshot()

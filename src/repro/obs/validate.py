@@ -1,0 +1,163 @@
+"""Trace-event schema validation (CI gate for exported traces).
+
+A trace that Perfetto silently mis-renders is worse than no trace, so
+CI validates every exported artifact: events parse, carry the required
+fields, and every ``B`` has its matching ``E`` in LIFO order on the
+same thread — no orphan ``E`` events, no spans left open, no
+end-before-begin timestamps.
+
+Usable as a library (:func:`validate_events`) or a CLI::
+
+    python -m repro.obs.validate BENCH_pr4.trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Sequence
+
+#: phases the exporter may legitimately emit
+KNOWN_PHASES = {"B", "E", "X", "M", "C", "i", "I"}
+
+
+def validate_events(events: Sequence[Dict[str, Any]]) -> List[str]:
+    """Return a list of schema violations (empty = valid).
+
+    Checks, per the Chrome trace-event format:
+
+    * every event is a dict with a known ``ph``;
+    * ``B``/``E``/``X``/``C``/``i`` events carry numeric ``ts`` and
+      integer ``pid``/``tid``; ``B``/``X``/``C`` carry a ``name``;
+    * per ``(pid, tid)`` track, ``B``/``E`` pairs nest strictly (LIFO,
+      matching names): an ``E`` with no open ``B`` is an orphan, a
+      ``B`` still open at end-of-stream is unclosed;
+    * an ``E`` never precedes its ``B`` (``ts`` monotone within the
+      pair) and ``X`` durations are non-negative.
+    """
+    errors: List[str] = []
+    stacks: Dict[tuple, List[tuple]] = {}
+    for i, event in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue  # metadata: no timestamp requirements
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: bad ts {ts!r}")
+            continue
+        if not isinstance(event.get("pid"), int) \
+                or not isinstance(event.get("tid"), int):
+            errors.append(f"{where}: missing integer pid/tid")
+            continue
+        name = event.get("name")
+        if ph in ("B", "X", "C") and not isinstance(name, str):
+            errors.append(f"{where}: {ph} event without a name")
+            continue
+        track = (event["pid"], event["tid"])
+        if ph == "B":
+            stacks.setdefault(track, []).append((name, ts, i))
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                errors.append(
+                    f"{where}: orphan E ({name!r}) on track {track} "
+                    f"with no open span"
+                )
+                continue
+            open_name, open_ts, open_i = stack.pop()
+            if isinstance(name, str) and name != open_name:
+                errors.append(
+                    f"{where}: E ({name!r}) closes mismatched span "
+                    f"{open_name!r} opened at event {open_i}"
+                )
+            if ts < open_ts:
+                errors.append(
+                    f"{where}: span {open_name!r} ends at {ts} before "
+                    f"its begin at {open_ts}"
+                )
+        elif ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X event with bad dur {dur!r}")
+    for track, stack in stacks.items():
+        for name, _ts, i in stack:
+            errors.append(
+                f"unclosed span {name!r} on track {track} "
+                f"(B at event {i} has no E)"
+            )
+    return errors
+
+
+def extract_events(payload: Any) -> List[Dict[str, Any]]:
+    """Accept both the object form (``{"traceEvents": [...]}``) and the
+    bare JSON-array form of the trace-event format."""
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("object form lacks a traceEvents array")
+        return events
+    if isinstance(payload, list):
+        return payload
+    raise ValueError(f"not a trace payload: {type(payload).__name__}")
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Parse + validate one trace file; returns the violation list."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"{path}: unreadable trace: {err}"]
+    try:
+        events = extract_events(payload)
+    except ValueError as err:
+        return [f"{path}: {err}"]
+    return [f"{path}: {e}" for e in validate_events(events)]
+
+
+def summarize(path: str) -> Dict[str, Any]:
+    """Counts shown by the CLI (events, spans, named tracks)."""
+    with open(path) as fh:
+        events = extract_events(json.load(fh))
+    names = sorted({
+        e["args"]["name"] for e in events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    })
+    return {
+        "events": len(events),
+        "spans": sum(1 for e in events if e.get("ph") == "E"),
+        "threads": names,
+    }
+
+
+def main(argv=None) -> int:
+    args = sys.argv[1:] if argv is None else list(argv)
+    if not args:
+        print("usage: python -m repro.obs.validate TRACE.json ...",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in args:
+        errors = validate_trace_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"FAIL: {error}", file=sys.stderr)
+        else:
+            s = summarize(path)
+            print(
+                f"{path}: OK — {s['events']} events, {s['spans']} spans, "
+                f"tracks: {', '.join(s['threads']) or '(unnamed)'}"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -129,3 +129,49 @@ class TestCoerce:
     def test_empty_list(self):
         out = KEY64.coerce([])
         assert out.dtype == np.uint64 and out.size == 0
+
+
+class TestBoolRejection:
+    """bool subclasses int, but a boolean is never a key.
+
+    ``operator.index(True) == 1``, so without an explicit check bools
+    silently coerce to 0/1 keys; :meth:`KeySpec.coerce` rejects them on
+    every input path (scalar, list, numpy array, object fallback).
+    """
+
+    def test_scalar_bool_raises(self):
+        with pytest.raises(TypeError, match="boolean"):
+            KEY64.coerce(True)
+        with pytest.raises(TypeError, match="boolean"):
+            KEY64.coerce(False)
+
+    def test_numpy_bool_scalar_raises(self):
+        with pytest.raises(TypeError, match="boolean"):
+            KEY64.coerce(np.bool_(True))
+
+    def test_list_of_bools_raises(self):
+        with pytest.raises(TypeError, match="boolean"):
+            KEY64.coerce([True, False, True])
+        with pytest.raises(TypeError, match="boolean"):
+            KEY32.coerce([False])
+
+    def test_numpy_bool_array_raises(self):
+        with pytest.raises(TypeError, match="boolean"):
+            KEY64.coerce(np.array([True, False]))
+        with pytest.raises(TypeError, match="boolean"):
+            KEY32.coerce(np.zeros(4, dtype=np.bool_))
+
+    def test_bool_on_object_path_raises(self):
+        # object arrays take the operator.index fallback; a stray bool
+        # must be caught there before operator.index accepts it.  (A
+        # plain mixed list like [2**63, True] is out of scope: numpy
+        # promotes it to uint64 before coerce can see the bool.)
+        with pytest.raises(TypeError, match="boolean"):
+            KEY64.coerce(np.array([2**63, True], dtype=object))
+        with pytest.raises(TypeError, match="boolean"):
+            KEY64.coerce(np.array([np.bool_(False)], dtype=object))
+
+    def test_zero_one_ints_still_pass(self):
+        out = KEY64.coerce([0, 1])
+        assert out.dtype == np.uint64
+        assert out.tolist() == [0, 1]

@@ -322,3 +322,58 @@ class TestResilienceIntegration:
         engine = OverlappedEngine(tree_b)
         with pytest.raises(ValueError):
             ResilientHBPlusTree(tree_a, engine=engine)
+
+
+class TestBusyAccounting:
+    """Busy-time accounting sanity (regression for the dispatch_busy
+    double-count hazard): each timed region accumulates at exactly one
+    site, so no single busy counter can exceed the measured wall time.
+    """
+
+    def _check(self, engine, queries):
+        engine.lookup_batch(queries)
+        s = engine.stats.snapshot()
+        assert s["wall_ns"] > 0
+        assert 0 <= s["dispatch_busy_ns"] <= s["wall_ns"]
+        # gpu/cpu busy are summed over workers, so each is bounded by
+        # workers * wall, not wall
+        assert 0 <= s["gpu_busy_ns"] <= engine.gpu_workers * s["wall_ns"]
+        assert 0 <= s["cpu_busy_ns"] <= engine.cpu_workers * s["wall_ns"]
+
+    def test_sequential_busy_bounded_by_wall(self):
+        tree, keys = build_tree(800, seed=21)
+        queries = np.tile(keys[:128], 8)
+        self._check(
+            OverlappedEngine(tree, bucket_size=128, strategy="sequential"),
+            queries,
+        )
+
+    def test_threaded_dispatch_busy_bounded_by_wall(self):
+        tree, keys = build_tree(800, seed=22)
+        queries = np.tile(keys[:128], 16)
+        self._check(
+            OverlappedEngine(
+                tree, bucket_size=128, strategy="double_buffered",
+                gpu_workers=2, cpu_workers=2,
+            ),
+            queries,
+        )
+
+    def test_dispatch_busy_accumulated_once_under_fault(self):
+        # a launch fault used to risk booking the same timed region
+        # twice (once in the fault branch, once on fall-through); the
+        # single try/finally accumulation point makes that impossible
+        plan = FaultPlan(seed=3, kernel_fail=1.0)  # every launch faults
+        keys, values = generate_dataset(900, seed=23)
+        tree = HBPlusTree(
+            keys, values, machine=machine_m1(),
+            injector=FaultInjector(plan),
+        )
+        engine = OverlappedEngine(
+            tree, bucket_size=128, strategy="double_buffered",
+            gpu_workers=2, cpu_workers=2,
+        )
+        with pytest.raises(Exception, match="kernel_fail"):
+            engine.lookup_batch(np.tile(keys[:128], 8))
+        s = engine.stats.snapshot()
+        assert 0 <= s["dispatch_busy_ns"] <= s["wall_ns"]

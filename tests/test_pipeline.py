@@ -5,6 +5,8 @@ import pytest
 from repro.core.buckets import iter_buckets, num_buckets
 from repro.core.pipeline import (
     BucketStrategy,
+    BucketTimeline,
+    PipelineRun,
     PipelineSimulator,
     strategy_latency_ns,
     strategy_throughput_qps,
@@ -250,3 +252,53 @@ class TestTimelinesExport:
         assert max(r["completion_ns"] for r in rows) == run.makespan_ns
         mean = sum(r["avg_query_latency_ns"] for r in rows) / len(rows)
         assert mean == pytest.approx(run.mean_latency_ns)
+
+
+class TestDegenerateRuns:
+    """Empty / zero-query / zero-cost runs report 0.0, never divide by
+    zero (regression tests for the PipelineRun stats bugfix)."""
+
+    def test_empty_run_metrics_are_zero(self):
+        run = PipelineRun(timelines=[], bucket_size=1024)
+        assert run.makespan_ns == 0.0
+        assert run.total_queries == 0
+        assert run.throughput_qps == 0.0
+        assert run.mean_latency_ns == 0.0
+        assert run.latency_percentile_ns(50) == 0.0
+        assert run.latency_percentile_ns(99) == 0.0
+        assert run.timelines_df() == []
+
+    def test_empty_run_percentile_still_validates(self):
+        run = PipelineRun(timelines=[], bucket_size=1024)
+        with pytest.raises(ValueError):
+            run.latency_percentile_ns(0)
+        with pytest.raises(ValueError):
+            run.latency_percentile_ns(101)
+
+    def test_zero_carried_queries(self):
+        # a bucket that carried no queries: finite makespan, zero work
+        t = BucketTimeline(
+            index=0, t1_start=0.0, t1_end=10.0, t2_end=20.0,
+            t3_end=30.0, t4_end=40.0, queries=0,
+        )
+        run = PipelineRun(timelines=[t], bucket_size=1024)
+        assert run.total_queries == 0
+        assert run.makespan_ns == 40.0
+        assert run.throughput_qps == 0.0
+
+    def test_zero_cost_model(self):
+        # an all-zero cost model collapses the makespan to 0
+        t = BucketTimeline(
+            index=0, t1_start=0.0, t1_end=0.0, t2_end=0.0,
+            t3_end=0.0, t4_end=0.0,
+        )
+        run = PipelineRun(timelines=[t], bucket_size=1024)
+        assert run.makespan_ns == 0.0
+        assert run.throughput_qps == 0.0
+        assert run.mean_latency_ns == 0.0
+
+    def test_normal_runs_unaffected(self):
+        run = PipelineSimulator(COSTS, BucketStrategy.SEQUENTIAL, 1024).run(3)
+        assert run.throughput_qps > 0.0
+        assert run.mean_latency_ns > 0.0
+        assert run.latency_percentile_ns(99) >= run.latency_percentile_ns(50)
