@@ -1,0 +1,88 @@
+"""Adaptive load-balancing benchmark CLI: static vs adaptive under drift.
+
+Runs the phased drifting-hot-set workload through a static seed (D, R)
+split and through the online :class:`~repro.core.adaptive.AdaptiveController`
+on the same implicit hybrid tree, and writes the report (with the full
+``rebalance`` timeline and the adaptive metrics snapshot) to
+``BENCH_pr5.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py [--smoke] [--out PATH]
+
+``--smoke`` shrinks the tree and the per-phase query count for CI.  The
+regression gate (see :func:`repro.bench.adaptive.gate_failures`) exits
+non-zero if
+
+* any balanced run is not bit-identical to the unbalanced engine,
+* the adaptive split at any phase end is more than one Algorithm-1
+  step (depth 1, ratio 0.125) from that phase's offline optimum, or
+* the adaptive loop fails to beat the static seed split on summed
+  modeled bucket cost.
+
+All gated quantities are modeled (Equation 4 on the phase's own
+profile), so the gate is host-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small dataset for CI (sub-second instead of seconds)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_pr5.json",
+        help="output JSON path (default: BENCH_pr5.json)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.adaptive import gate_failures, run_adaptive
+
+    report = run_adaptive(smoke=args.smoke)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    seed = report["seed_split"]
+    print(f"wrote {args.out} ({report['mode']} mode)")
+    print(
+        f"  tree: {report['keys']} keys, height {report['tree_height']}, "
+        f"bucket {report['bucket_size']}, "
+        f"{report['queries_per_phase']} queries/phase on {report['machine']}"
+    )
+    print(f"  static seed split: D={seed['depth']} R={seed['ratio']}")
+    for row in report["phases"]:
+        print(
+            f"  {row['phase']} (ws={row['working_set']}): "
+            f"offline D={row['offline_depth']} R={row['offline_ratio']} | "
+            f"adaptive D={row['adaptive_depth']} R={row['adaptive_ratio']} "
+            f"({row['adaptive_cost_ns']:.0f} ns vs static "
+            f"{row['static_cost_ns']:.0f} ns)"
+        )
+    for event in report["rebalances"]:
+        print(
+            f"  rebalance[{event['reason']}]: -> D={event['depth']} "
+            f"R={event['ratio']} (gain {100 * event['gain']:.1f}%, "
+            f"moved={event['moved']})"
+        )
+    print(
+        f"  modeled cost: adaptive {report['adaptive_total_cost_ns']:.0f} ns "
+        f"vs static {report['static_total_cost_ns']:.0f} ns "
+        f"({100 * report['cost_gain']:.1f}% saved), "
+        f"identical={report['bit_identical']}"
+    )
+
+    failures = gate_failures(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,410 @@
+"""Online adaptive load balancing (section 5.5 turned into a loop).
+
+The offline :class:`~repro.core.load_balance.LoadBalancer` discovers one
+(D, R) split for the traffic it was profiled on and never looks again.
+Production traffic drifts — the hot set moves, the duplicate fraction
+changes, the cache-residency of each inner level changes with it — and
+a split discovered for yesterday's distribution quietly turns a
+load-balanced tree back into a bottlenecked one.
+
+:class:`AdaptiveController` closes the loop.  Engines report every
+dispatched bucket through :meth:`~AdaptiveController.note_bucket`; the
+controller keeps a deterministic reservoir over a sliding window of
+buckets, and at each window boundary re-profiles per-level CPU/GPU
+costs on that reservoir (instrumented cache/TLB descents + the pure
+transaction model), re-runs Algorithm 1, and moves the applied (D, R)
+— but only with hysteresis: the candidate must beat the current split
+by ``hysteresis_gain`` for ``confirm_windows`` consecutive windows, so
+one noisy window cannot thrash the split.
+
+Determinism contract (tested in ``tests/test_adaptive.py``):
+
+* decisions are functions of the query *values* only — modeled level
+  costs and transaction counts, never wall clock;
+* the per-bucket reservoir RNG is seeded from
+  ``(seed, window, bucket)``, so the same trace always yields the same
+  rebalance schedule;
+* engines call :meth:`~AdaptiveController.note_bucket` serially from
+  the dispatcher, in dispatch order;
+* a split moves *which processor walks which level*, never what the
+  walk returns — adaptive engine results stay bit-identical to the
+  unbalanced engine's.
+
+Re-profiling shares the host cache simulator with serving, so host-side
+cache/TLB counters are perturbed by profiling descents; device-side
+modeled counters are not (the GPU side is priced through the pure
+transaction model).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.framework import RegularHBAdapter
+from repro.core.load_balance import (
+    DiscoveryResult,
+    LoadBalancer,
+    SplitCostModel,
+)
+from repro.obs import NULL_OBS
+from repro.platform.costmodel import CpuCostModel
+
+Split = Tuple[int, float]
+
+
+def split_levels(n: int, depth: int, ratio: float,
+                 height: int) -> np.ndarray:
+    """Per-query CPU descent depths for one bucket under (D, R).
+
+    Equation 4 semantics: an R fraction of the bucket has its level-D
+    search done by the CPU (descends ``D + 1`` inner levels), the rest
+    hands level D to the GPU (descends ``D``).  (D=0, R=0) is the
+    all-zeros array — the unbalanced full-GPU path.
+    """
+    cut = int(round(ratio * n))
+    levels = np.full(n, min(depth + 1, height), dtype=np.int64)
+    levels[cut:] = min(depth, height)
+    return levels
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Knobs of the feedback loop."""
+
+    #: buckets per sliding window (one evaluation per window)
+    window_buckets: int = 8
+    #: reservoir size the window's queries are downsampled to
+    sample_size: int = 2048
+    #: windows with fewer sampled queries than this are skipped
+    min_window_queries: int = 64
+    #: relative modeled-cost gain a candidate split must show
+    hysteresis_gain: float = 0.05
+    #: consecutive windows the same candidate must win before applying
+    confirm_windows: int = 2
+    #: reservoir RNG seed (decisions replay exactly for a fixed seed)
+    seed: int = 0
+
+
+@dataclass
+class AdaptiveStats:
+    """Counters of one controller's life."""
+
+    buckets: int = 0
+    queries: int = 0
+    windows: int = 0
+    evaluations: int = 0
+    proposals: int = 0
+    rebalances: int = 0
+    forced_cpu_only: int = 0
+    rediscoveries: int = 0
+    last_gain: float = 0.0
+    depth: int = 0
+    ratio: float = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)
+
+
+class StaticSplit:
+    """The null controller: a fixed (D, R) for every bucket.
+
+    Speaks the same engine protocol as :class:`AdaptiveController`, so
+    a benchmark can A/B a static seed split against the adaptive loop
+    by swapping one constructor argument.
+    """
+
+    def __init__(self, depth: int = 0, ratio: float = 0.0):
+        self.depth = depth
+        self.ratio = ratio
+
+    def split(self) -> Split:
+        return (self.depth, self.ratio)
+
+    def note_bucket(self, queries) -> None:
+        pass
+
+
+class RegularModeBalancer(SplitCostModel):
+    """Mode-space balancer for the regular HB+-tree.
+
+    The regular tree's 3-step node layout has no mid-tree GPU resume
+    (``RegularHBAdapter.supports_partial_descent`` is ``False``), so
+    its split space collapses to the endpoints of Equation 4: plain
+    hybrid (D=0, R=0) and cpu-only (D=h, R=1).  :meth:`discover`
+    evaluates exactly those two and commits the cheaper; the Equation-4
+    cost evaluation itself is shared with :class:`LoadBalancer` through
+    :class:`~repro.core.load_balance.SplitCostModel`.
+    """
+
+    def __init__(self, tree, bucket_size: Optional[int] = None,
+                 cpu_model: Optional[CpuCostModel] = None):
+        self.tree = tree
+        self.machine = tree.machine
+        self.bucket_size = bucket_size or self.machine.bucket_size
+        self.cpu_model = cpu_model or CpuCostModel(self.machine.cpu)
+        self.adapter = RegularHBAdapter(tree)
+        self.reprofile()
+        self.depth = 0
+        self.ratio = 0.0
+
+    @property
+    def height(self) -> int:
+        return self.tree.cpu_tree.height
+
+    def reprofile(self, sample: Optional[np.ndarray] = None,
+                  sample_size: int = 2048) -> None:
+        """Per-level CPU profiles + pure GPU transaction model.
+
+        Like :meth:`LoadBalancer.reprofile`, the GPU side goes through
+        :meth:`HBPlusTree.modeled_transactions` so a mid-run re-profile
+        never counts a kernel launch or mutates device counters.
+        """
+        spec = self.tree.spec
+        if sample is None:
+            rng = np.random.default_rng(23)
+            stored = np.asarray(
+                [k for k, _v in self.tree.cpu_tree.items()],
+                dtype=spec.dtype,
+            )
+            sample = rng.choice(
+                stored, size=min(sample_size, len(stored)), replace=False
+            )
+        else:
+            sample = np.asarray(sample, dtype=spec.dtype)
+            if len(sample) == 0:
+                raise ValueError("reprofile sample must be non-empty")
+        profiles, leaf_profile = self.adapter.level_profiles(sample)
+        model = self.cpu_model
+        self.cpu_level_ns: List[float] = [
+            model.query_ns(p) for p in profiles
+        ]
+        self.leaf_ns = model.query_ns(leaf_profile)
+        h = max(1, self.height)
+        txns = self.tree.modeled_transactions(sample)
+        txn_per_query_level = txns / max(1, len(sample)) / h
+        gpu = self.machine.gpu
+        self.gpu_level_ns = [
+            txn_per_query_level * 64.0 / gpu.effective_bandwidth_gbs
+        ] * h
+
+    def discover(self, bucket_size: Optional[int] = None) -> DiscoveryResult:
+        """Algorithm 1 restricted to the two modes the tree can run."""
+        h = self.height
+        samples: List[Tuple[int, float, float, float]] = []
+        for depth, ratio in ((0, 0.0), (h, 1.0)):
+            time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+            samples.append((depth, ratio, time_gpu, time_cpu))
+        depth, ratio, time_gpu, time_cpu = min(
+            samples, key=lambda s: max(s[2], s[3])
+        )
+        self.depth = depth
+        self.ratio = ratio
+        return DiscoveryResult(
+            depth=depth, ratio=ratio, samples=samples,
+            cost_ns=max(time_gpu, time_cpu),
+        )
+
+
+class AdaptiveController:
+    """The feedback loop: window → reprofile → Algorithm 1 → hysteresis.
+
+    Engine protocol (spoken by :class:`BatchingEngine`,
+    :class:`OverlappedEngine` and :class:`ResilientHBPlusTree`):
+
+    * :meth:`split` — the (D, R) to apply to the *next* bucket;
+    * :meth:`note_bucket` — called serially, in dispatch order, with
+      each dispatched bucket's query stream.
+
+    Observability: every applied move emits a ``rebalance`` hook event
+    and counts under ``live.rebalance.*``; window-level gauges land as
+    ``live.rebalance.gain`` / ``.depth`` / ``.ratio``.
+    """
+
+    def __init__(self, balancer: SplitCostModel,
+                 config: Optional[AdaptiveConfig] = None,
+                 obs=None, discover_on_init: bool = True):
+        self.balancer = balancer
+        self.config = config or AdaptiveConfig()
+        self._obs_override = obs
+        self.stats = AdaptiveStats()
+        self._parts: List[np.ndarray] = []
+        self._bucket_in_window = 0
+        self._pending: Optional[Split] = None
+        self._streak = 0
+        self._forced = False
+        self._last_sample: Optional[np.ndarray] = None
+        if discover_on_init:
+            result = balancer.discover()
+            self.depth, self.ratio = result.depth, result.ratio
+        else:
+            self.depth, self.ratio = balancer.depth, balancer.ratio
+        self.stats.depth, self.stats.ratio = self.depth, self.ratio
+
+    # ------------------------------------------------------------------
+    # construction conveniences
+
+    @classmethod
+    def for_tree(cls, tree, config: Optional[AdaptiveConfig] = None,
+                 bucket_size: Optional[int] = None, obs=None,
+                 discover_on_init: bool = True) -> "AdaptiveController":
+        """Build the right balancer for the given hybrid tree.
+
+        Trees with a mid-tree GPU resume path (the implicit tree) get
+        the full (D, R) space through :class:`LoadBalancer`, profiled
+        on the sorted-distinct stream the batch engines actually run;
+        the regular tree gets the two-mode
+        :class:`RegularModeBalancer`.
+        """
+        if getattr(tree, "supports_split_descent", False):
+            balancer: SplitCostModel = LoadBalancer(
+                tree, bucket_size=bucket_size, sort_batches=True
+            )
+        else:
+            balancer = RegularModeBalancer(tree, bucket_size=bucket_size)
+        return cls(balancer, config=config, obs=obs,
+                   discover_on_init=discover_on_init)
+
+    # ------------------------------------------------------------------
+    # engine protocol
+
+    @property
+    def obs(self):
+        if self._obs_override is not None:
+            return self._obs_override
+        return getattr(self.balancer.tree, "obs", NULL_OBS)
+
+    @property
+    def height(self) -> int:
+        return self.balancer.height
+
+    @property
+    def cpu_only(self) -> bool:
+        """Whether the current split leaves the GPU no work."""
+        return not self.balancer.split_serves_gpu(self.depth, self.ratio)
+
+    def split(self) -> Split:
+        return (self.depth, self.ratio)
+
+    def note_bucket(self, queries) -> None:
+        """Fold one dispatched bucket into the sliding window.
+
+        Must be called serially, in dispatch order — the window
+        boundary (and therefore the whole rebalance schedule) is a
+        function of the bucket sequence.
+        """
+        cfg = self.config
+        q = np.asarray(queries)
+        self.stats.buckets += 1
+        self.stats.queries += len(q)
+        per_bucket = -(-cfg.sample_size // cfg.window_buckets)
+        if len(q) <= per_bucket:
+            part = q.copy()
+        else:
+            rng = np.random.default_rng(
+                [cfg.seed, self.stats.windows, self._bucket_in_window]
+            )
+            part = rng.choice(q, size=per_bucket, replace=False)
+        self._parts.append(part)
+        self._bucket_in_window += 1
+        if self._bucket_in_window >= cfg.window_buckets:
+            self._close_window()
+
+    # ------------------------------------------------------------------
+    # the loop body
+
+    def _close_window(self) -> None:
+        sample = (
+            np.concatenate(self._parts) if self._parts
+            else np.empty(0, dtype=np.int64)
+        )
+        self._parts = []
+        self._bucket_in_window = 0
+        self.stats.windows += 1
+        self.obs.count("live.rebalance.windows")
+        if len(sample) < self.config.min_window_queries:
+            return
+        self._last_sample = sample
+        if self._forced:
+            # a forced split (degraded mode) is pinned until
+            # rediscover(); keep collecting windows so recovery
+            # re-discovers on fresh traffic, but never move the split
+            self._pending, self._streak = None, 0
+            return
+        self._evaluate(sample)
+
+    def _evaluate(self, sample: np.ndarray) -> None:
+        cfg = self.config
+        balancer = self.balancer
+        self.stats.evaluations += 1
+        balancer.reprofile(sample)
+        result = balancer.discover()
+        current_cost = balancer.balanced_cost_ns(self.depth, self.ratio)
+        # discover() moved the balancer to the candidate; the applied
+        # split is still ours until hysteresis confirms the move
+        balancer.depth, balancer.ratio = self.depth, self.ratio
+        candidate: Split = (result.depth, result.ratio)
+        gain = (
+            1.0 - result.cost_ns / current_cost if current_cost > 0 else 0.0
+        )
+        self.stats.last_gain = gain
+        self.obs.gauge("live.rebalance.gain", gain)
+        if candidate == (self.depth, self.ratio) or gain < cfg.hysteresis_gain:
+            self._pending, self._streak = None, 0
+            return
+        self.stats.proposals += 1
+        self.obs.count("live.rebalance.proposed")
+        if candidate == self._pending:
+            self._streak += 1
+        else:
+            self._pending, self._streak = candidate, 1
+        if self._streak >= cfg.confirm_windows:
+            self._apply(candidate, gain, reason="drift")
+
+    def _apply(self, split: Split, gain: float, reason: str) -> None:
+        moved = split != (self.depth, self.ratio)
+        self.depth, self.ratio = split
+        self.balancer.depth, self.balancer.ratio = split
+        self._pending, self._streak = None, 0
+        self.stats.depth, self.stats.ratio = split
+        if moved:
+            self.stats.rebalances += 1
+            self.obs.count("live.rebalance.applied", reason=reason)
+        self.obs.gauge("live.rebalance.depth", float(self.depth))
+        self.obs.gauge("live.rebalance.ratio", float(self.ratio))
+        self.obs.emit(
+            "rebalance", depth=self.depth, ratio=self.ratio,
+            gain=gain, reason=reason, moved=moved,
+        )
+
+    # ------------------------------------------------------------------
+    # resilience integration
+
+    def force_cpu_only(self, reason: str = "degrade") -> None:
+        """Pin the split to depth = h (all-CPU) until :meth:`rediscover`.
+
+        The resilience layer calls this when the circuit breaker opens:
+        a degraded tree must not keep a split that hands levels to a
+        GPU it no longer trusts.
+        """
+        self._forced = True
+        self.stats.forced_cpu_only += 1
+        self._apply((self.height, 1.0), gain=0.0, reason=reason)
+
+    def rediscover(self, reason: str = "recover") -> DiscoveryResult:
+        """Drop the pin and re-run discovery on the freshest window.
+
+        Recovery must *not* jump back to the stale pre-incident split:
+        the traffic that drifted during the outage is what the
+        re-opened GPU will serve.  Profiles on the last completed
+        window when one exists, else on a stored-key sample.
+        """
+        self._forced = False
+        self.stats.rediscoveries += 1
+        self.balancer.reprofile(self._last_sample)
+        result = self.balancer.discover()
+        self._apply((result.depth, result.ratio), gain=0.0, reason=reason)
+        return result

@@ -140,7 +140,7 @@ class BatchingEngine:
     """
 
     def __init__(self, tree, bucket_size: Optional[int] = None,
-                 measure_baseline: bool = False, obs=None):
+                 measure_baseline: bool = False, obs=None, balancer=None):
         self.tree = tree
         self.bucket_size = bucket_size or getattr(
             getattr(tree, "machine", None), "bucket_size", DEFAULT_BUCKET_SIZE
@@ -150,6 +150,20 @@ class BatchingEngine:
         #: explicit :class:`repro.obs.Observability` override; None
         #: follows the tree's attached bundle dynamically
         self._obs = obs
+        #: optional (D, R) split source — an
+        #: :class:`repro.core.adaptive.AdaptiveController` or
+        #: :class:`~repro.core.adaptive.StaticSplit`; consulted once
+        #: per bucket, at dispatch, and fed the dispatched queries
+        self.balancer = balancer
+        if balancer is not None and not getattr(
+            tree, "supports_split_descent", False
+        ):
+            raise ValueError(
+                "a (D, R) balancer needs a tree with a mid-tree GPU "
+                "resume path (supports_split_descent); the regular "
+                "HB+-tree is balanced through ResilientHBPlusTree's "
+                "mode controller instead"
+            )
 
     @property
     def obs(self):
@@ -165,6 +179,30 @@ class BatchingEngine:
         if hasattr(result, "codes"):
             return result.codes
         return result.leaf_indices
+
+    def _descend(self, plan: BucketPlan):
+        """The inner-level stage, split per the balancer when present.
+
+        The split is read once per bucket at dispatch and the bucket's
+        arrival-order queries are fed back to the balancer serially —
+        rebalance decisions are a deterministic function of the bucket
+        sequence.  A split moves levels between processors, never
+        results: (D=0, R=0) reproduces ``gpu_search_bucket`` exactly
+        (leaf indices *and* transaction count).
+        """
+        if self.balancer is None:
+            return self.tree.gpu_search_bucket(plan.sorted_unique)
+        from repro.core.adaptive import split_levels
+
+        depth, ratio = self.balancer.split()
+        self.balancer.note_bucket(plan.queries)
+        levels = split_levels(
+            plan.n_unique, depth, ratio, self.tree.height
+        )
+        nodes = self.tree.cpu_descend_top(plan.sorted_unique, levels)
+        return self.tree.gpu_search_bucket_from(
+            plan.sorted_unique, levels, nodes
+        )
 
     def execute_bucket(self, queries: Sequence):
         """Run one bucket; returns ``(values, GpuSearchResult)``.
@@ -185,7 +223,7 @@ class BatchingEngine:
         with obs.span("bucket", bucket=index, n_queries=plan.n_queries,
                       n_unique=plan.n_unique):
             with obs.span("gpu_descend", bucket=index):
-                result = self.tree.gpu_search_bucket(plan.sorted_unique)
+                result = self._descend(plan)
             if self.measure_baseline:
                 result.baseline_transactions = self.tree.modeled_transactions(
                     plan.queries

@@ -28,6 +28,7 @@ from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
 from repro.cpu.node_search import NodeSearchAlgorithm
 from repro.gpusim.device import GpuDevice
 from repro.gpusim.kernels.implicit_search import (
+    implicit_search_from_counted,
     implicit_search_vectorized,
     launch_implicit_search,
 )
@@ -230,6 +231,98 @@ class ImplicitHBPlusTree:
                 leaf_indices=np.zeros(len(q), dtype=np.int64), transactions=0
             )
         leaf, txns = self.gpu_descend(q)
+        self.device.memory.counters.transactions_64 += txns
+        self.device.memory.counters.bytes_moved += txns * 64
+        return GpuSearchResult(leaf_indices=leaf, transactions=txns)
+
+    # -- load-balanced (D, R) split execution --------------------------
+
+    #: the implicit layout supports resuming a GPU descent mid-tree,
+    #: which is what the adaptive (D, R) split engines require
+    supports_split_descent = True
+
+    def cpu_descend_top(
+        self, queries: np.ndarray, levels: np.ndarray
+    ) -> np.ndarray:
+        """Walk per-query ``levels`` top inner levels on the CPU.
+
+        Pure (no counters, thread-safe); returns the node positions the
+        GPU resumes from.  Same clamped descent the load balancer's
+        serial path uses, so a split bucket lands in the same leaves.
+        """
+        tree = self.cpu_tree
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        node = np.zeros(len(q), dtype=np.int64)
+        for level in range(tree.height):
+            active = levels > level
+            if not np.any(active):
+                break
+            keys = tree.inner_levels[level][node[active]]
+            k = np.sum(keys < q[active, None], axis=1).astype(np.int64)
+            next_size = (
+                tree.inner_levels[level + 1].shape[0]
+                if level + 1 < tree.height
+                else tree.num_leaves
+            )
+            node[active] = np.minimum(
+                node[active] * tree.fanout + k, next_size - 1
+            )
+        return node
+
+    def gpu_descend_from(
+        self,
+        queries: np.ndarray,
+        start_levels: np.ndarray,
+        start_nodes: np.ndarray,
+    ) -> "tuple[np.ndarray, int]":
+        """Pure stage-2 descent resumed from per-query (level, node).
+
+        The split-space twin of :meth:`gpu_descend`: no launch
+        counting, no counter mutation, safe from worker threads.  With
+        all ``start_levels`` at 0 both outputs are identical to
+        :meth:`gpu_descend` (the unbalanced corner of the split space).
+        """
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        start = np.asarray(start_levels, dtype=np.int64)
+        nodes = np.asarray(start_nodes, dtype=np.int64)
+        if len(q) == 0 or self.gpu_depth == 0 or not np.any(
+            start < self.gpu_depth
+        ):
+            return nodes.copy(), 0
+        return implicit_search_from_counted(
+            self.iseg_buffer.array,
+            self.level_offsets,
+            self.level_sizes,
+            self.gpu_depth,
+            self.cpu_tree.fanout,
+            q,
+            start_levels=start,
+            start_nodes=nodes,
+            teams_per_warp=self.teams_per_warp,
+        )
+
+    def gpu_search_bucket_from(
+        self,
+        queries: np.ndarray,
+        start_levels: np.ndarray,
+        start_nodes: np.ndarray,
+    ) -> GpuSearchResult:
+        """Stateful split-bucket GPU stage: screen, descend, account.
+
+        An all-CPU bucket (every query already descended to the leaves
+        by :meth:`cpu_descend_top`) launches no kernel and charges no
+        transactions — the execution twin of the load balancer's
+        ``sample_times`` fix for ``depth == h``.
+        """
+        q = np.asarray(queries, dtype=self.spec.dtype)
+        start = np.asarray(start_levels, dtype=np.int64)
+        gpu_active = int(np.count_nonzero(start < self.gpu_depth))
+        if not self.gpu_begin_bucket(gpu_active):
+            return GpuSearchResult(
+                leaf_indices=np.asarray(start_nodes, dtype=np.int64).copy(),
+                transactions=0,
+            )
+        leaf, txns = self.gpu_descend_from(q, start, start_nodes)
         self.device.memory.counters.transactions_64 += txns
         self.device.memory.counters.bytes_moved += txns * 64
         return GpuSearchResult(leaf_indices=leaf, transactions=txns)

@@ -42,13 +42,130 @@ class DiscoveryResult:
     ratio: float
     samples: List[Tuple[int, float, float, float]]
     """(D, R, Time_GPU, Time_CPU) for every getSample call."""
+    #: the *measured* bucket cost max(Time_GPU, Time_CPU) at (depth,
+    #: ratio) — always one of the sampled points, never an extrapolation
+    cost_ns: float = 0.0
 
     @property
     def sample_count(self) -> int:
         return len(self.samples)
 
 
-class LoadBalancer:
+class SplitCostModel:
+    """Equation 4 evaluation + Algorithm 1 over measured level costs.
+
+    Subclasses own the measurement side: :meth:`reprofile` fills
+    ``cpu_level_ns`` (top level first), ``gpu_level_ns`` and
+    ``leaf_ns``, and :attr:`height` names the number of inner levels.
+    Everything downstream of the measurements is shared —
+    :meth:`sample_times` / :meth:`balanced_cost_ns` (Equation 4) and
+    :meth:`discover` (Algorithm 1) — between the implicit-tree
+    :class:`LoadBalancer` and the mode-space balancer the adaptive
+    controller builds for the regular tree
+    (:class:`repro.core.adaptive.RegularModeBalancer`).
+    """
+
+    # set by subclass constructors / reprofile()
+    machine = None
+    cpu_model = None
+    bucket_size = 0
+    cpu_level_ns: List[float]
+    gpu_level_ns: List[float]
+    leaf_ns: float
+    depth: int = 0
+    ratio: float = 0.0
+
+    @property
+    def height(self) -> int:
+        """Number of inner (directory) levels above the leaves."""
+        raise NotImplementedError
+
+    def reprofile(self, sample: Optional[np.ndarray] = None,
+                  sample_size: int = 2048) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Equation 4 / getSample
+
+    def split_serves_gpu(self, depth: int, ratio: float) -> bool:
+        """Whether a (D, R) split leaves the GPU any work at all.
+
+        At ``depth == h`` (and at ``depth == h - 1`` with ``R == 1``)
+        every query descends all inner levels on the CPU; no kernel
+        launches and nothing crosses PCIe.
+        """
+        h = self.height
+        if depth >= h:
+            return False
+        return not (depth + 1 >= h and ratio >= 1.0)
+
+    def sample_times(self, depth: int, ratio: float,
+                     bucket_size: Optional[int] = None
+                     ) -> Tuple[float, float]:
+        """getSample(D, R): (Time_GPU, Time_CPU) for one bucket."""
+        m = bucket_size or self.bucket_size
+        h = self.height
+        depth = min(depth, h)
+        cpu_per_query = self.leaf_ns + sum(self.cpu_level_ns[:depth])
+        if depth < h:
+            cpu_per_query += ratio * self.cpu_level_ns[depth]
+        gpu_per_query = sum(self.gpu_level_ns[depth + 1:])
+        if depth < h:
+            gpu_per_query += (1.0 - ratio) * self.gpu_level_ns[depth]
+        threads = self.cpu_model.threads
+        time_cpu = m * cpu_per_query / threads
+        if not self.split_serves_gpu(depth, ratio):
+            # an all-CPU split launches no kernel: charging
+            # kernel_init_ns here penalized D == h with phantom
+            # launch overhead the GPU never incurs
+            time_gpu = 0.0
+        else:
+            time_gpu = self.machine.gpu.kernel_init_ns + m * gpu_per_query
+        return time_gpu, time_cpu
+
+    def balanced_cost_ns(self, depth: int, ratio: float,
+                         bucket_size: Optional[int] = None) -> float:
+        """Equation 4: the bucket cost under a (D, R) split."""
+        time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+        return max(time_gpu, time_cpu)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+
+    def discover(self, bucket_size: Optional[int] = None) -> DiscoveryResult:
+        """The paper's discovery algorithm, executed literally."""
+        h = self.height
+        samples: List[Tuple[int, float, float, float]] = []
+        depth, ratio = 0, 1.0
+        time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+        samples.append((depth, ratio, time_gpu, time_cpu))
+        while time_gpu > time_cpu and depth < h:
+            depth += 1
+            time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+            samples.append((depth, ratio, time_gpu, time_cpu))
+        ratio = 0.5
+        for step in range(2, 6):
+            time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+            samples.append((depth, ratio, time_gpu, time_cpu))
+            if time_gpu > time_cpu:
+                ratio += 1.0 / (2 ** step)
+            else:
+                ratio -= 1.0 / (2 ** step)
+        # commit the best *sampled* point: the binary search's final
+        # adjustment of R is never evaluated by sample_times, so the
+        # loop variable may name a (D, R) whose cost was never measured
+        depth, ratio, time_gpu, time_cpu = min(
+            samples, key=lambda s: max(s[2], s[3])
+        )
+        self.depth = depth
+        self.ratio = ratio
+        return DiscoveryResult(
+            depth=depth, ratio=ratio, samples=samples,
+            cost_ns=max(time_gpu, time_cpu),
+        )
+
+
+class LoadBalancer(SplitCostModel):
     """The load-balanced implicit HB+-tree search (section 5.5)."""
 
     def __init__(
@@ -63,21 +180,48 @@ class LoadBalancer:
         self.bucket_size = bucket_size or self.machine.bucket_size
         self.cpu_model = cpu_model or CpuCostModel(self.machine.cpu)
         self.sort_batches = sort_batches
-        self._profile_levels()
+        self.reprofile()
         self.depth = 0
         self.ratio = 1.0
+
+    @property
+    def height(self) -> int:
+        return self.tree.cpu_tree.height
 
     # ------------------------------------------------------------------
     # per-level cost measurement
 
-    def _profile_levels(self, sample_size: int = 2048) -> None:
-        """Measure C_{C,i}, C_{G,i} and L_C from instrumented runs."""
+    def reprofile(self, sample: Optional[np.ndarray] = None,
+                  sample_size: int = 2048) -> None:
+        """Measure C_{C,i}, C_{G,i} and L_C from instrumented runs.
+
+        ``sample`` supplies the query stream to profile on — the online
+        adaptive controller passes a reservoir of *live* window queries
+        here, so the per-level costs track the traffic actually being
+        served.  When omitted, a seeded sample of stored keys is drawn
+        (without replacement: sampling stored keys *with* replacement
+        skews per-level miss rates on small trees, the same bug the
+        PR 2 ``bucket_costs`` fix removed for tiny trees).
+
+        The GPU side is measured through the pure transaction model
+        (:meth:`ImplicitHBPlusTree.modeled_transactions`), so profiling
+        never mutates device counters or the kernel-launch count — a
+        re-profile in the middle of an engine run leaves the engine's
+        modeled counters bit-identical to an unprofiled run.
+        """
         tree = self.tree.cpu_tree
         spec = self.tree.spec
-        rng = np.random.default_rng(23)
-        stored = tree.leaf_keys.reshape(-1)
-        stored = stored[stored != spec.max_value]
-        sample = rng.choice(stored, size=min(sample_size, len(stored)))
+        if sample is None:
+            rng = np.random.default_rng(23)
+            stored = tree.leaf_keys.reshape(-1)
+            stored = stored[stored != spec.max_value]
+            sample = rng.choice(
+                stored, size=min(sample_size, len(stored)), replace=False
+            )
+        else:
+            sample = np.asarray(sample, dtype=spec.dtype)
+            if len(sample) == 0:
+                raise ValueError("reprofile sample must be non-empty")
         if self.sort_batches:
             # measure on the stream the batch engine actually runs:
             # sorted distinct queries (coalescing-friendly on the GPU)
@@ -137,65 +281,13 @@ class LoadBalancer:
         self.leaf_ns = model.query_ns(leaf_profile)
 
         # GPU cost per level: transactions measured by the kernel twin
+        # (pure model — no launch counted, no device-counter mutation)
         gpu = self.machine.gpu
-        result = self.tree.gpu_search_bucket(sample)
-        txn_per_query_level = result.transactions_per_query / max(1, h)
+        txns = self.tree.modeled_transactions(sample)
+        txn_per_query_level = txns / max(1, len(sample)) / max(1, h)
         self.gpu_level_ns = [
             txn_per_query_level * 64.0 / gpu.effective_bandwidth_gbs
         ] * h
-
-    # ------------------------------------------------------------------
-    # Equation 4 / getSample
-
-    def sample_times(self, depth: int, ratio: float,
-                     bucket_size: Optional[int] = None
-                     ) -> Tuple[float, float]:
-        """getSample(D, R): (Time_GPU, Time_CPU) for one bucket."""
-        m = bucket_size or self.bucket_size
-        h = self.tree.cpu_tree.height
-        depth = min(depth, h)
-        cpu_per_query = self.leaf_ns + sum(self.cpu_level_ns[:depth])
-        if depth < h:
-            cpu_per_query += ratio * self.cpu_level_ns[depth]
-        gpu_per_query = sum(self.gpu_level_ns[depth + 1:])
-        if depth < h:
-            gpu_per_query += (1.0 - ratio) * self.gpu_level_ns[depth]
-        threads = self.cpu_model.threads
-        time_cpu = m * cpu_per_query / threads
-        time_gpu = self.machine.gpu.kernel_init_ns + m * gpu_per_query
-        return time_gpu, time_cpu
-
-    def balanced_cost_ns(self, depth: int, ratio: float,
-                         bucket_size: Optional[int] = None) -> float:
-        """Equation 4: the bucket cost under a (D, R) split."""
-        time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
-        return max(time_gpu, time_cpu)
-
-    # ------------------------------------------------------------------
-    # Algorithm 1
-
-    def discover(self, bucket_size: Optional[int] = None) -> DiscoveryResult:
-        """The paper's discovery algorithm, executed literally."""
-        h = self.tree.cpu_tree.height
-        samples: List[Tuple[int, float, float, float]] = []
-        depth, ratio = 0, 1.0
-        time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
-        samples.append((depth, ratio, time_gpu, time_cpu))
-        while time_gpu > time_cpu and depth < h:
-            depth += 1
-            time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
-            samples.append((depth, ratio, time_gpu, time_cpu))
-        ratio = 0.5
-        for step in range(2, 6):
-            time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
-            samples.append((depth, ratio, time_gpu, time_cpu))
-            if time_gpu > time_cpu:
-                ratio += 1.0 / (2 ** step)
-            else:
-                ratio -= 1.0 / (2 ** step)
-        self.depth = depth
-        self.ratio = ratio
-        return DiscoveryResult(depth=depth, ratio=ratio, samples=samples)
 
     # ------------------------------------------------------------------
     # functional balanced lookup
@@ -256,6 +348,9 @@ class LoadBalancer:
         m = bucket_size or self.bucket_size
         spec = self.tree.spec
         time_gpu, time_cpu = self.sample_times(self.depth, self.ratio, m)
+        if not self.split_serves_gpu(self.depth, self.ratio):
+            # all-CPU split: nothing crosses PCIe in either direction
+            return BucketCosts(t1=0.0, t2=time_gpu, t3=0.0, t4=time_cpu)
         # query + intermediate node index travel to the GPU
         t1 = self.machine.pcie.transfer_ns(m * (spec.size_bytes + 8))
         t3 = self.machine.pcie.transfer_ns(m * 8)

@@ -260,8 +260,26 @@ class OverlappedEngine:
         measure_baseline: bool = False,
         cpu_chunk_min: int = 2048,
         obs=None,
+        balancer=None,
     ):
         self.tree = tree
+        #: optional (D, R) split source — an
+        #: :class:`repro.core.adaptive.AdaptiveController` or
+        #: :class:`~repro.core.adaptive.StaticSplit`.  Consulted and
+        #: fed strictly in the dispatcher (serially, in bucket order),
+        #: so the rebalance schedule — like fault screening — is
+        #: deterministic in the bucket sequence; workers only ever run
+        #: the pure split descent.
+        self.balancer = balancer
+        if balancer is not None and not getattr(
+            tree, "supports_split_descent", False
+        ):
+            raise ValueError(
+                "a (D, R) balancer needs a tree with a mid-tree GPU "
+                "resume path (supports_split_descent); the regular "
+                "HB+-tree is balanced through ResilientHBPlusTree's "
+                "mode controller instead"
+            )
         #: explicit :class:`repro.obs.Observability` override; when
         #: None the engine follows the tree's bundle dynamically (so
         #: ``tree.attach_obs`` works regardless of construction order)
@@ -333,6 +351,47 @@ class OverlappedEngine:
         return out
 
     # ------------------------------------------------------------------
+    # (D, R) split plumbing
+
+    def _dispatch_split(self, plan: BucketPlan):
+        """Read + feed the balancer once per bucket (dispatcher only).
+
+        Returns ``(levels, gpu_active)``: the per-query CPU descent
+        depths (None when unbalanced) and the query count the launch
+        screening charges — an all-CPU bucket screens zero GPU queries,
+        so it launches no kernel and consults no injector.
+        """
+        if self.balancer is None:
+            return None, plan.n_unique
+        from repro.core.adaptive import split_levels
+
+        depth, ratio = self.balancer.split()
+        self.balancer.note_bucket(plan.queries)
+        levels = split_levels(
+            plan.n_unique, depth, ratio, self.tree.height
+        )
+        return levels, int(np.count_nonzero(levels < self.tree.gpu_depth))
+
+    def _stage_descend(self, plan: BucketPlan, launch: bool, levels):
+        """Pure inner-level stage for one bucket (worker-safe).
+
+        Unbalanced buckets run the full GPU descent; split buckets walk
+        their top levels on the CPU and resume on the GPU.  When the
+        split put every query's full descent on the CPU, the CPU nodes
+        *are* the leaf indices and no GPU work happens at all.
+        """
+        if levels is None:
+            if launch:
+                return self.tree.gpu_descend(plan.sorted_unique)
+            return np.zeros(plan.n_unique, dtype=np.int64), 0
+        nodes = self.tree.cpu_descend_top(plan.sorted_unique, levels)
+        if launch:
+            return self.tree.gpu_descend_from(
+                plan.sorted_unique, levels, nodes
+            )
+        return nodes, 0
+
+    # ------------------------------------------------------------------
     # sequential reference path (no threads)
 
     def _run_sequential(self, q: np.ndarray, out: np.ndarray) -> None:
@@ -350,18 +409,15 @@ class OverlappedEngine:
                         "bucket_start", index=index,
                         n_queries=plan.n_queries, n_unique=plan.n_unique,
                     )
-                    launch = tree.gpu_begin_bucket(plan.n_unique)
+                    levels, gpu_active = self._dispatch_split(plan)
+                    launch = tree.gpu_begin_bucket(gpu_active)
             finally:
                 self.stats.dispatch_busy_ns += time.perf_counter_ns() - t_plan
             t_gpu = time.perf_counter_ns()
             try:
                 with obs.span("gpu_descend", bucket=index,
                               n_unique=plan.n_unique):
-                    if launch:
-                        codes, txns = tree.gpu_descend(plan.sorted_unique)
-                    else:
-                        codes = np.zeros(plan.n_unique, dtype=np.int64)
-                        txns = 0
+                    codes, txns = self._stage_descend(plan, launch, levels)
                     if self.measure_baseline:
                         self.stats.baseline_transactions += \
                             tree.modeled_transactions(plan.queries)
@@ -519,11 +575,16 @@ class _OverlapRun:
                         "bucket_start", index=index,
                         n_queries=plan.n_queries, n_unique=plan.n_unique,
                     )
+                    # split decision + balancer feedback, serially in
+                    # bucket order, next to the injector for the same
+                    # reason: the rebalance schedule must be a
+                    # deterministic function of the bucket sequence
+                    levels, gpu_active = eng._dispatch_split(plan)
                     try:
                         # stateful screening, serially in bucket order:
                         # the injector draw stream is identical to the
                         # serial path
-                        launch = self.tree.gpu_begin_bucket(plan.n_unique)
+                        launch = self.tree.gpu_begin_bucket(gpu_active)
                     except Exception as err:
                         # an injected launch fault: stop feeding, drain
                         # what is already in flight, re-raise after the
@@ -533,7 +594,7 @@ class _OverlapRun:
                 self.dispatch_busy += time.perf_counter_ns() - t0
             if self.fault is not None:
                 break
-            item = (index, index * eng.bucket_size, plan, launch)
+            item = (index, index * eng.bucket_size, plan, launch, levels)
             if not self._put(self.gpu_q, item, eng.stats.gpu_queue):
                 break
 
@@ -547,17 +608,11 @@ class _OverlapRun:
                 item = self._get(self.gpu_q)
                 if isinstance(item, _Sentinel):
                     break
-                index, start, plan, launch = item
+                index, start, plan, launch, levels = item
                 t0 = time.perf_counter_ns()
                 with obs.span("gpu_descend", bucket=index,
                               n_unique=plan.n_unique):
-                    if launch:
-                        codes, txns = self.tree.gpu_descend(
-                            plan.sorted_unique
-                        )
-                    else:
-                        codes = np.zeros(plan.n_unique, dtype=np.int64)
-                        txns = 0
+                    codes, txns = eng._stage_descend(plan, launch, levels)
                 self.gpu_txns[wid] += txns
                 if eng.measure_baseline:
                     self.gpu_baseline[wid] += self.tree.modeled_transactions(

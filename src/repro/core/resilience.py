@@ -236,6 +236,7 @@ class ResilientHBPlusTree:
         config: Optional[ResilienceConfig] = None,
         engine=None,
         obs=None,
+        adaptive=None,
     ):
         self.tree = tree
         if obs is not None:
@@ -269,8 +270,28 @@ class ResilientHBPlusTree:
         #: decide whether limping on a faulty GPU is still worth it
         self._hybrid_cost_ema: Optional[float] = None
         self._ema_samples = 0
+        #: optional :class:`repro.core.adaptive.AdaptiveController`
+        #: over a :class:`~repro.core.adaptive.RegularModeBalancer`:
+        #: the regular tree has no mid-tree GPU resume, so adaptivity
+        #: here is mode-space — {hybrid, cpu-only} — and integrates
+        #: with the breaker.  Degrade pins the controller to cpu-only;
+        #: a successful recovery probe re-discovers on the traffic that
+        #: drifted during the outage instead of reviving the stale
+        #: pre-incident mode; and a controller that finds cpu-only
+        #: economically better trips the breaker (reason "adaptive").
+        if adaptive is not None:
+            bal_tree = getattr(
+                getattr(adaptive, "balancer", None), "tree", None
+            )
+            if bal_tree is not None and bal_tree is not tree:
+                raise ValueError(
+                    "the adaptive controller must balance the same "
+                    "HBPlusTree"
+                )
+        self.adaptive = adaptive
         self._calibrate()
         self._snapshot_expected()
+        self._maybe_trip_adaptive()
 
     @property
     def obs(self):
@@ -500,6 +521,23 @@ class ResilientHBPlusTree:
         obs.count("live.resilience.degradations", reason=reason)
         obs.instant("degrade", category="resilience", reason=reason)
         obs.emit("degrade", reason=reason)
+        if self.adaptive is not None:
+            # a degraded tree must not keep a split that trusts the
+            # GPU; the pin holds until the recovery path rediscovers
+            self.adaptive.force_cpu_only(reason)
+
+    def _maybe_trip_adaptive(self) -> None:
+        """Open the breaker when the mode controller has concluded the
+        GPU is not worth using for the live traffic (the mode-space
+        twin of economic degradation)."""
+        if self.adaptive is None or self.breaker.open:
+            return
+        if not self.adaptive.cpu_only:
+            return
+        self.breaker.trip()
+        self.stats.degradations += 1
+        self.stats.economic_degradations += 1
+        self._note_degrade("adaptive")
 
     def _probe_recovery(self) -> bool:
         """Try to bring the GPU back: re-mirror, then a trial search
@@ -541,6 +579,14 @@ class ResilientHBPlusTree:
         obs.count("live.resilience.recoveries")
         obs.instant("recover", category="resilience")
         obs.emit("recover")
+        if self.adaptive is not None:
+            # the pre-incident mode is stale: re-learn the base costs
+            # and re-discover on the traffic that drifted during the
+            # outage — which may immediately conclude the recovered
+            # GPU is still not worth using for what is being served
+            self._calibrate()
+            self.adaptive.rediscover()
+            self._maybe_trip_adaptive()
         return True
 
     def lookup_batch(self, queries: Sequence[int]) -> np.ndarray:
@@ -553,6 +599,12 @@ class ResilientHBPlusTree:
         if len(q) == 0:
             return q.copy()
         self.stats.batches += 1
+        if self.adaptive is not None:
+            # serially, in batch order — the mode schedule is a
+            # deterministic function of the batch sequence; a window
+            # closing here may move the mode for *this* batch
+            self.adaptive.note_bucket(q)
+            self._maybe_trip_adaptive()
         if self.breaker.open:
             with self.obs.span("resilient.lookup_batch", mode="cpu_only",
                                queries=len(q)):

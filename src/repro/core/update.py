@@ -78,7 +78,10 @@ class UpdateStats:
         total = self.applied + self.deferred
         t = self.total_ns if include_transfer else self.modify_ns
         if t <= 0:
-            return float("inf")
+            # empty/zero-cost batches report 0.0, not inf — the same
+            # convention as the pipeline/engine throughput metrics, so
+            # downstream aggregation (means, JSON) never sees inf
+            return 0.0
         return total * 1e9 / t
 
 

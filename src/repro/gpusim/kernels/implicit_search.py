@@ -146,9 +146,38 @@ def implicit_search_from(
     Used by the load-balanced search (section 5.5): the CPU walked the
     top ``D`` (or ``D+1``) levels, the GPU continues from there.
     """
+    node, _txns = implicit_search_from_counted(
+        iseg, level_offsets, level_sizes, depth, fanout, queries,
+        start_levels, start_nodes,
+    )
+    return node
+
+
+def implicit_search_from_counted(
+    iseg: np.ndarray,
+    level_offsets: Sequence[int],
+    level_sizes: Sequence[int],
+    depth: int,
+    fanout: int,
+    queries: np.ndarray,
+    start_levels: np.ndarray,
+    start_nodes: np.ndarray,
+    teams_per_warp: int = 4,
+) -> Tuple[np.ndarray, int]:
+    """:func:`implicit_search_from` plus the coalesced-transaction count.
+
+    Transactions follow the same model as
+    :func:`implicit_search_vectorized` — one 64-byte line per distinct
+    node among the teams of a warp — charged only for the levels a
+    query actually walks on the GPU.  With every ``start_levels`` at 0
+    the result (both outputs) is identical to the full vectorised
+    descent, which is what lets the adaptive engines treat the
+    unbalanced path as the (D=0, R=0) corner of the split space.
+    """
     q = np.asarray(queries)
     node = np.asarray(start_nodes, dtype=np.int64).copy()
     start = np.asarray(start_levels, dtype=np.int64)
+    transactions = 0
     for level in range(depth):
         active = start <= level
         if not np.any(active):
@@ -157,6 +186,7 @@ def implicit_search_from(
             level_offsets[level]: level_offsets[level] + level_sizes[level]
         ].reshape(-1, fanout)
         keys = view[node[active]]
+        transactions += _warp_distinct(node[active], teams_per_warp)
         k = np.sum(keys < q[active, None], axis=1).astype(np.int64)
         node[active] = node[active] * fanout + k
-    return node
+    return node, transactions

@@ -20,6 +20,7 @@ from repro.obs.bundle import NULL_OBS, Observability
 from repro.obs.export import (
     collect_all,
     publish,
+    publish_adaptive,
     publish_device,
     publish_engine,
     publish_link,
@@ -53,6 +54,7 @@ __all__ = [
     "Tracer",
     "collect_all",
     "publish",
+    "publish_adaptive",
     "publish_device",
     "publish_engine",
     "publish_link",

@@ -105,9 +105,19 @@ def publish_resilience(metrics: MetricsRegistry, resilient,
     )
 
 
+def publish_adaptive(metrics: MetricsRegistry, controller,
+                     **labels) -> None:
+    """An :class:`~repro.core.adaptive.AdaptiveController`: window /
+    rebalance counters plus the split currently in force."""
+    publish(metrics, "adaptive", controller.stats, **labels)
+    metrics.gauge("adaptive.cpu_only", **labels).set(
+        int(controller.cpu_only)
+    )
+
+
 def collect_all(metrics: MetricsRegistry, tree=None, engine=None,
                 engine_label: str = "batch", resilient=None,
-                **labels) -> Dict[str, Any]:
+                adaptive=None, **labels) -> Dict[str, Any]:
     """One-call convenience: publish whatever is given, return the
     registry snapshot."""
     if tree is not None:
@@ -116,4 +126,6 @@ def collect_all(metrics: MetricsRegistry, tree=None, engine=None,
         publish_engine(metrics, engine, engine_label, **labels)
     if resilient is not None:
         publish_resilience(metrics, resilient, **labels)
+    if adaptive is not None:
+        publish_adaptive(metrics, adaptive, **labels)
     return metrics.snapshot()

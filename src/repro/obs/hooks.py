@@ -16,6 +16,10 @@ Well-known events (components document which they emit):
 ``degrade``             the circuit breaker opened (``reason`` labels why)
 ``recover``             a probe brought the GPU back
 ``probe``               a recovery probe ran (``ok`` carries the outcome)
+``rebalance``           the adaptive controller applied a (D, R) split
+                        (``depth``/``ratio``/``gain``/``reason``;
+                        ``moved`` is False when a forced re-apply landed
+                        on the split already in force)
 ======================  ====================================================
 
 Handlers run synchronously on the emitting thread; exceptions propagate

@@ -1,4 +1,4 @@
-"""Workload generation: datasets, query streams, distributions."""
+"""Workload generation: datasets, query streams, distributions, traces."""
 
 from repro.workloads.generators import (
     DISTRIBUTIONS,
@@ -13,6 +13,15 @@ from repro.workloads.queries import (
     make_range_queries,
     make_update_mix,
 )
+from repro.workloads.trace import (
+    DriftPhase,
+    OpKind,
+    ReplayStats,
+    WorkloadTrace,
+    replay_trace,
+    synthesize_drift_lookups,
+    synthesize_trace,
+)
 
 __all__ = [
     "DISTRIBUTIONS",
@@ -24,4 +33,11 @@ __all__ = [
     "make_range_queries",
     "make_insert_batch",
     "make_update_mix",
+    "DriftPhase",
+    "OpKind",
+    "ReplayStats",
+    "WorkloadTrace",
+    "replay_trace",
+    "synthesize_drift_lookups",
+    "synthesize_trace",
 ]

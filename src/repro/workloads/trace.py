@@ -142,6 +142,79 @@ def synthesize_trace(
                          key_bits=key_bits)
 
 
+@dataclass(frozen=True)
+class DriftPhase:
+    """One phase of a phased drifting lookup stream."""
+
+    name: str
+    #: operation offset of the phase within the trace
+    start: int
+    length: int
+    #: hot fraction of the sorted key space this phase draws from
+    working_set: float
+
+    @property
+    def slice(self) -> slice:
+        return slice(self.start, self.start + self.length)
+
+
+def synthesize_drift_lookups(
+    base_keys: np.ndarray,
+    phase_working_sets=(1.0, 0.02, 0.25),
+    queries_per_phase: int = 32768,
+    key_bits: int = 64,
+    seed: int = 29,
+):
+    """Lookup-only trace in named phases with *known* boundaries.
+
+    :func:`synthesize_trace` drifts continuously, which is right for
+    end-to-end replay but wrong for evaluating adaptive load balancing:
+    there the question is "did the controller converge to each phase's
+    offline optimum?", which needs phases that hold still long enough
+    to *have* an offline optimum.  Each phase draws
+    ``queries_per_phase`` lookups from its own hot window (fraction
+    ``working_set`` of the sorted key space, placed at a different
+    region per phase), so a per-phase ``discover()`` on the phase's
+    own queries is well-defined.
+
+    Returns ``(trace, phases)`` — the trace is pure lookups, and each
+    :class:`DriftPhase` carries its slice of the operation stream.
+    """
+    spec = key_spec(key_bits)
+    rng = np.random.default_rng(seed)
+    sorted_keys = np.sort(np.asarray(base_keys, dtype=spec.dtype))
+    n = len(sorted_keys)
+    if n == 0:
+        raise ValueError("base_keys must be non-empty")
+    if queries_per_phase < 1:
+        raise ValueError("queries_per_phase must be >= 1")
+    n_phases = len(phase_working_sets)
+    parts = []
+    phases = []
+    for i, working_set in enumerate(phase_working_sets):
+        if not 0.0 < working_set <= 1.0:
+            raise ValueError("working_set must be in (0, 1]")
+        window = max(1, int(n * working_set))
+        span = max(1, n - window)
+        window_start = (
+            (i * span) // (n_phases - 1) if n_phases > 1 else 0
+        )
+        idx = window_start + rng.integers(0, window, size=queries_per_phase)
+        parts.append(sorted_keys[np.minimum(idx, n - 1)])
+        phases.append(DriftPhase(
+            name=f"phase{i}", start=i * queries_per_phase,
+            length=queries_per_phase, working_set=float(working_set),
+        ))
+    keys = np.concatenate(parts)
+    trace = WorkloadTrace(
+        ops=np.full(len(keys), OpKind.LOOKUP, dtype=np.int8),
+        keys=keys,
+        values=np.zeros(len(keys), dtype=spec.dtype),
+        key_bits=key_bits,
+    )
+    return trace, phases
+
+
 @dataclass
 class ReplayStats:
     """Functional outcome of replaying one trace."""

@@ -1,10 +1,15 @@
 """Load balancing scheme (section 5.5, Algorithm 1, Fig 18)."""
 
+import functools
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.core.hbtree_implicit import ImplicitHBPlusTree
 from repro.core.load_balance import LoadBalancer
+from repro.platform.configs import machine_m2
 from repro.workloads.generators import generate_dataset
 
 
@@ -142,3 +147,115 @@ class TestFig18Shape:
             balancer_m2.depth, balancer_m2.ratio
         )
         assert balanced < plain
+
+
+class TestAllCpuSplitCosts:
+    """D == h means no kernel launch, no PCIe — cost model included."""
+
+    def test_depth_h_charges_no_gpu_time(self, balancer_m2):
+        h = balancer_m2.height
+        time_gpu, time_cpu = balancer_m2.sample_times(h, 1.0)
+        assert time_gpu == 0.0
+        assert time_cpu > 0.0
+
+    def test_depth_h_minus_1_full_ratio_is_all_cpu(self, balancer_m2):
+        """R == 1 at D == h-1 sends the last inner level to the CPU
+        too; the GPU has nothing left."""
+        h = balancer_m2.height
+        time_gpu, _ = balancer_m2.sample_times(h - 1, 1.0)
+        assert time_gpu == 0.0
+        assert not balancer_m2.split_serves_gpu(h - 1, 1.0)
+
+    def test_gpu_serving_split_pays_kernel_init(self, balancer_m2):
+        time_gpu, _ = balancer_m2.sample_times(0, 0.0)
+        assert time_gpu >= balancer_m2.machine.gpu.kernel_init_ns
+
+    def test_all_cpu_bucket_costs_skip_pcie(self, balancer_m2):
+        balancer_m2.depth = balancer_m2.height
+        balancer_m2.ratio = 1.0
+        costs = balancer_m2.bucket_costs()
+        assert costs.t1 == 0.0
+        assert costs.t2 == 0.0
+        assert costs.t3 == 0.0
+        assert costs.t4 > 0.0
+
+
+class TestDiscoveryCommitsEvaluatedPoint:
+    """Algorithm 1's final R adjustment is never itself sampled; the
+    committed (D, R) must be a measured point, not an extrapolation."""
+
+    def test_committed_point_was_sampled(self, balancer_m2):
+        result = balancer_m2.discover()
+        sampled = {(d, r) for d, r, _g, _c in result.samples}
+        assert (result.depth, result.ratio) in sampled
+
+    def test_cost_is_minimum_over_samples(self, balancer_m2):
+        result = balancer_m2.discover()
+        best = min(max(g, c) for _d, _r, g, c in result.samples)
+        assert result.cost_ns == best
+        assert result.cost_ns == pytest.approx(
+            balancer_m2.balanced_cost_ns(result.depth, result.ratio)
+        )
+
+
+class TestReprofileSampling:
+    def test_default_sample_is_without_replacement(self, data, m2,
+                                                   monkeypatch):
+        """Sampling stored keys *with* replacement skews per-level miss
+        rates on small trees; every profiled key must be distinct."""
+        keys, values = data
+        tree = ImplicitHBPlusTree(keys, values, machine=m2)
+        captured = {}
+        original = ImplicitHBPlusTree.modeled_transactions
+
+        def capture(self, sample):
+            captured["sample"] = np.asarray(sample)
+            return original(self, sample)
+
+        monkeypatch.setattr(
+            ImplicitHBPlusTree, "modeled_transactions", capture
+        )
+        LoadBalancer(tree)
+        sample = captured["sample"]
+        assert len(sample) == min(2048, len(keys))
+        assert len(np.unique(sample)) == len(sample)
+
+    def test_reprofile_accepts_live_sample(self, balancer_m2, data):
+        keys, _values = data
+        balancer_m2.reprofile(keys[:512])
+        assert len(balancer_m2.cpu_level_ns) == balancer_m2.height
+        with pytest.raises(ValueError):
+            balancer_m2.reprofile(np.empty(0, dtype=np.uint64))
+
+
+@functools.lru_cache(maxsize=1)
+def _grid_setup():
+    keys, values = generate_dataset(2048, seed=17)
+    tree = ImplicitHBPlusTree(keys, values, machine=machine_m2())
+    balancer = LoadBalancer(tree)
+    return keys, values, tree, balancer
+
+
+class TestSplitGridBitIdentity:
+    """A (D, R) split moves which processor walks which level, never
+    what the walk returns — property-tested over the whole grid."""
+
+    @given(
+        depth_frac=st.integers(0, 6),
+        ratio=st.sampled_from([0.0, 0.5, 1.0]),
+        picks=st.lists(st.integers(0, 2047), min_size=1, max_size=64),
+        offset=st.sampled_from([0, 1]),
+    )
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_matches_unbalanced_tree(self, depth_frac, ratio, picks,
+                                     offset):
+        keys, _values, tree, balancer = _grid_setup()
+        h = tree.cpu_tree.height
+        balancer.depth = min(depth_frac, h)  # includes D=0 and D=h
+        balancer.ratio = ratio
+        # offset=1 shifts every query off a stored key (misses included)
+        queries = keys[np.asarray(picks)] + np.uint64(offset)
+        out = balancer.lookup_batch(queries)
+        expected = tree.lookup_batch(queries)
+        assert np.array_equal(out, expected)

@@ -8,6 +8,7 @@ from repro.core.update import (
     ASYNC_GROUP_SIZE,
     AsyncBatchUpdater,
     SyncUpdater,
+    UpdateStats,
     apply_cpu_only,
 )
 from repro.cpu.btree_regular import RegularCpuBPlusTree
@@ -211,6 +212,20 @@ class TestCrossover:
         )
         assert async_stats.deferred_fraction < 0.01
         assert async_stats.total_ns < sync_stats.total_ns
+
+
+class TestUpdateStats:
+    def test_zero_time_throughput_is_zero_not_inf(self):
+        """Empty/zero-cost batches report 0.0 qps — inf poisons any
+        downstream mean and is not valid JSON."""
+        stats = UpdateStats(applied=10)
+        assert stats.total_ns == 0.0
+        assert stats.throughput_qps() == 0.0
+        assert stats.throughput_qps(include_transfer=False) == 0.0
+
+    def test_nonzero_time_throughput(self):
+        stats = UpdateStats(applied=1000, modify_ns=1e9)
+        assert stats.throughput_qps() == pytest.approx(1000.0)
 
 
 class TestCpuOnlyBaseline:
