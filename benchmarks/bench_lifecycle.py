@@ -1,0 +1,77 @@
+"""Lifecycle benchmark CLI: cold build vs bulk load vs restore.
+
+Times the three ways to bring a hybrid regular tree into service —
+per-key inserts into an empty tree, the sort-based bottom-up bulk
+load, and a restore from a CRC-checksummed snapshot — then runs the
+deterministic storage-fault drill (torn write, silent bit rot with
+fallback, all-corrupt with cold rebuild) and writes the report to
+``BENCH_pr6.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lifecycle.py [--smoke] [--out PATH]
+
+``--smoke`` shrinks the tree for CI.  The regression gate (see
+:func:`repro.bench.lifecycle.gate_failures`) exits non-zero if restore
+is not strictly faster than the cold per-key build, any of the four
+trees disagrees on the probe batch, warm restart fails to pin the
+committed (D, R) without a reprofiling window, or any drill scenario
+misses its documented recovery rung.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small dataset for CI (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_pr6.json",
+        help="output JSON path (default: BENCH_pr6.json)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.lifecycle import gate_failures, run_lifecycle
+
+    report = run_lifecycle(smoke=args.smoke)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    ms = 1e-6
+    print(f"wrote {args.out} ({report['mode']} mode)")
+    print(
+        f"  tree: {report['keys']} keys on {report['machine']}, "
+        f"committed split D={report['split']['depth']} "
+        f"R={report['split']['ratio']}"
+    )
+    print(
+        f"  per-key build {report['perkey_build_ns'] * ms:.1f} ms | "
+        f"bulk load {report['bulk_build_ns'] * ms:.1f} ms "
+        f"({report['bulk_speedup_vs_perkey']:.1f}x) | "
+        f"restore {report['restore_ns'] * ms:.1f} ms "
+        f"({report['restore_speedup_vs_perkey']:.1f}x)"
+    )
+    print(
+        f"  snapshot: {report['snapshot_bytes']} bytes in "
+        f"{report['snapshot_ns'] * ms:.1f} ms; warm restart pinned="
+        f"{report['warm_pinned']} unprofiled={report['warm_unprofiled']}; "
+        f"bit-identical={report['bit_identical']}"
+    )
+    for name, row in report["drill"].items():
+        print(f"  drill[{name}]: {row}")
+
+    failures = gate_failures(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,7 +58,14 @@ from repro.cpu.btree_regular import RegularCpuBPlusTree
 from repro.cpu.css_tree import CssTree
 from repro.cpu.fast_tree import FastTree
 from repro.cpu.node_search import NodeSearchAlgorithm
-from repro.io import load_index, save_index
+from repro.io import build_index, load_index, save_index
+from repro.lifecycle import (
+    RestoreError,
+    SnapshotCorrupt,
+    SnapshotManager,
+    bulk_load,
+    warm_restart,
+)
 from repro.validate import ValidationError, validate_index
 from repro.keys import KEY32, KEY64, KeySpec, key_spec
 from repro.memsim.mainmem import MemorySystem, PageConfig
@@ -102,6 +109,12 @@ __all__ = [
     "GpuAssistedUpdater",
     "save_index",
     "load_index",
+    "build_index",
+    "SnapshotManager",
+    "SnapshotCorrupt",
+    "RestoreError",
+    "bulk_load",
+    "warm_restart",
     "BucketStrategy",
     "PipelineSimulator",
     "AsyncBatchUpdater",

@@ -141,13 +141,15 @@ class RegularModeBalancer(SplitCostModel):
     """
 
     def __init__(self, tree, bucket_size: Optional[int] = None,
-                 cpu_model: Optional[CpuCostModel] = None):
+                 cpu_model: Optional[CpuCostModel] = None,
+                 reprofile_on_init: bool = True):
         self.tree = tree
         self.machine = tree.machine
         self.bucket_size = bucket_size or self.machine.bucket_size
         self.cpu_model = cpu_model or CpuCostModel(self.machine.cpu)
         self.adapter = RegularHBAdapter(tree)
-        self.reprofile()
+        if reprofile_on_init:
+            self.reprofile()
         self.depth = 0
         self.ratio = 0.0
 
@@ -267,6 +269,32 @@ class AdaptiveController:
             balancer = RegularModeBalancer(tree, bucket_size=bucket_size)
         return cls(balancer, config=config, obs=obs,
                    discover_on_init=discover_on_init)
+
+    @classmethod
+    def warm_start(cls, tree, split: Split,
+                   config: Optional[AdaptiveConfig] = None,
+                   bucket_size: Optional[int] = None,
+                   obs=None) -> "AdaptiveController":
+        """Resume with a previously committed (D, R) pinned as the
+        starting split — no init-time reprofiling window.
+
+        The restore path hands the last committed split from a snapshot
+        here; the balancer skips its constructor profile (the first
+        live window reprofiles on actual traffic before any move), so
+        a warm-restarted node serves at the committed split from the
+        first bucket.
+        """
+        if getattr(tree, "supports_split_descent", False):
+            balancer: SplitCostModel = LoadBalancer(
+                tree, bucket_size=bucket_size, sort_batches=True,
+                reprofile_on_init=False,
+            )
+        else:
+            balancer = RegularModeBalancer(tree, bucket_size=bucket_size,
+                                           reprofile_on_init=False)
+        balancer.depth, balancer.ratio = int(split[0]), float(split[1])
+        return cls(balancer, config=config, obs=obs,
+                   discover_on_init=False)
 
     # ------------------------------------------------------------------
     # engine protocol

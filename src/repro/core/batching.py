@@ -31,6 +31,8 @@ it only needs ``gpu_search_bucket`` / ``cpu_finish_bucket`` /
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -147,6 +149,9 @@ class BatchingEngine:
         )
         self.measure_baseline = measure_baseline
         self.stats = BatchStats()
+        #: serializes batch entry against :meth:`quiesce` so a snapshot
+        #: taken under load sees a consistent tree between batches
+        self._serve_lock = threading.RLock()
         #: explicit :class:`repro.obs.Observability` override; None
         #: follows the tree's attached bundle dynamically
         self._obs = obs
@@ -260,11 +265,26 @@ class BatchingEngine:
         q = self.tree.spec.coerce(queries)
         if len(q) == 0:
             return np.zeros(0, dtype=self.tree.spec.dtype)
-        parts = [
-            self.lookup_bucket(bucket)
-            for bucket in iter_buckets(q, self.bucket_size)
-        ]
+        with self._serve_lock:
+            parts = [
+                self.lookup_bucket(bucket)
+                for bucket in iter_buckets(q, self.bucket_size)
+            ]
         return np.concatenate(parts)
+
+    @contextmanager
+    def quiesce(self):
+        """Hold serving still between batches (snapshot-under-load).
+
+        Blocks until any in-flight :meth:`lookup_batch` drains, then
+        keeps new batches parked while the caller (typically
+        :meth:`repro.lifecycle.SnapshotManager.save_engine`) reads the
+        tree.  Concurrent lookups before and after the window are
+        bit-identical — quiescing orders batches, it never changes
+        what any batch returns.
+        """
+        with self._serve_lock:
+            yield self
 
 
 @dataclass

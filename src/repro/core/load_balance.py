@@ -174,13 +174,15 @@ class LoadBalancer(SplitCostModel):
         bucket_size: Optional[int] = None,
         cpu_model: Optional[CpuCostModel] = None,
         sort_batches: bool = False,
+        reprofile_on_init: bool = True,
     ):
         self.tree = tree
         self.machine = tree.machine
         self.bucket_size = bucket_size or self.machine.bucket_size
         self.cpu_model = cpu_model or CpuCostModel(self.machine.cpu)
         self.sort_batches = sort_batches
-        self.reprofile()
+        if reprofile_on_init:
+            self.reprofile()
         self.depth = 0
         self.ratio = 1.0
 

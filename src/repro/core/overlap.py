@@ -52,6 +52,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -313,6 +314,10 @@ class OverlappedEngine:
         self.stats = OverlapStats()
         self.stats.gpu_queue.capacity = self.queue_depth
         self.stats.cpu_queue.capacity = self.cpu_queue_depth
+        #: serializes batch entry against :meth:`quiesce` — worker
+        #: threads live only inside ``lookup_batch``, so holding this
+        #: lock guarantees no thread is touching the tree
+        self._serve_lock = threading.RLock()
 
     @property
     def obs(self):
@@ -338,7 +343,7 @@ class OverlappedEngine:
             return out
         t0 = time.perf_counter_ns()
         try:
-            with self.obs.span(
+            with self._serve_lock, self.obs.span(
                 "overlap.lookup_batch",
                 queries=len(q), strategy=self.strategy.value,
             ):
@@ -349,6 +354,19 @@ class OverlappedEngine:
         finally:
             self.stats.wall_ns += time.perf_counter_ns() - t0
         return out
+
+    @contextmanager
+    def quiesce(self):
+        """Hold serving still between batches (snapshot-under-load).
+
+        The pipeline's worker threads exist only for the duration of a
+        ``lookup_batch`` call and are joined before it returns, so
+        taking the serve lock guarantees no worker is mid-descent:
+        the snapshot reads a tree no thread is touching.  Batches
+        before and after the quiesce window stay bit-identical.
+        """
+        with self._serve_lock:
+            yield self
 
     # ------------------------------------------------------------------
     # (D, R) split plumbing

@@ -137,6 +137,8 @@ class ResilienceStats:
     faults_handled: int = 0
     probes: int = 0
     recoveries: int = 0
+    snapshots: int = 0
+    snapshot_failures: int = 0
 
     def snapshot(self) -> Dict[str, float]:
         """Flat dict of all counters (for tables and replay checks)."""
@@ -160,6 +162,8 @@ class ResilienceStats:
             "faults_handled": self.faults_handled,
             "probes": self.probes,
             "recoveries": self.recoveries,
+            "snapshots": self.snapshots,
+            "snapshot_failures": self.snapshot_failures,
         }
 
     @property
@@ -329,6 +333,28 @@ class ResilientHBPlusTree:
         """Recompute the expected mirror image from the CPU tree."""
         self._expected = self.tree.pack_i_segment()
         self._expected_crc = _crc(self._expected)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def snapshot_to(self, manager, epoch=None):
+        """Snapshot the live tree through a
+        :class:`repro.lifecycle.SnapshotManager`, carrying the adaptive
+        controller's committed (D, R) split when one is attached.
+
+        Failure-contained: an injected storage fault (torn write)
+        costs the snapshot and is counted, but the live tree, its
+        mirror, and every already-written snapshot are untouched —
+        service continues bit-identically.  Returns the written path
+        or None on a failed attempt.
+        """
+        split = self.adaptive.split() if self.adaptive is not None else None
+        path = manager.save(self.tree, split=split, epoch=epoch)
+        if path is None:
+            self.stats.snapshot_failures += 1
+        else:
+            self.stats.snapshots += 1
+        return path
 
     # ------------------------------------------------------------------
     # retry primitives

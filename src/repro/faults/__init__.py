@@ -17,6 +17,12 @@ scenario replays bit-for-bit from a seed.
 * :mod:`repro.core.resilience` builds retry / repair / degradation on
   top.
 
+Storage is unreliable too: snapshot writes tear mid-stream, bits rot
+at rest, reads come back short.  The ``torn_write`` /
+``storage_bitflip`` / ``partial_read`` kinds model exactly those, at
+their own hook sites (``storage.write`` / ``storage.media`` /
+``storage.read``), and :mod:`repro.lifecycle` recovers through them.
+
 Determinism uses *common random numbers*: the decision for the N-th
 operation at a site depends only on ``(seed, site, N)``, never on how
 many draws other sites made — so the same plan replays identically, and
@@ -32,7 +38,9 @@ from repro.faults.plan import (
     FaultPlan,
     KernelHang,
     KernelLaunchFault,
+    PartialRead,
     SyncInterrupted,
+    TornWrite,
     TransferFault,
     TransferTimeout,
 )
@@ -48,6 +56,8 @@ __all__ = [
     "KernelLaunchFault",
     "KernelHang",
     "SyncInterrupted",
+    "TornWrite",
+    "PartialRead",
     "FaultInjector",
     "FaultStats",
 ]

@@ -28,7 +28,9 @@ from repro.faults.plan import (
     FaultPlan,
     KernelHang,
     KernelLaunchFault,
+    PartialRead,
     SyncInterrupted,
+    TornWrite,
     TransferFault,
     TransferTimeout,
 )
@@ -47,18 +49,25 @@ class FaultStats:
     kernel_ops: int = 0
     mirror_ops: int = 0
     sync_ops: int = 0
+    storage_write_ops: int = 0
+    storage_media_ops: int = 0
+    storage_read_ops: int = 0
     transfer_fails: int = 0
     transfer_timeouts: int = 0
     kernel_fails: int = 0
     kernel_hangs: int = 0
     bitflips: int = 0
     sync_interrupts: int = 0
+    torn_writes: int = 0
+    storage_bitflips: int = 0
+    partial_reads: int = 0
 
     @property
     def total_faults(self) -> int:
         return (
             self.transfer_fails + self.transfer_timeouts + self.kernel_fails
             + self.kernel_hangs + self.bitflips + self.sync_interrupts
+            + self.torn_writes + self.storage_bitflips + self.partial_reads
         )
 
     def snapshot(self) -> Dict[str, int]:
@@ -67,12 +76,18 @@ class FaultStats:
             "kernel_ops": self.kernel_ops,
             "mirror_ops": self.mirror_ops,
             "sync_ops": self.sync_ops,
+            "storage_write_ops": self.storage_write_ops,
+            "storage_media_ops": self.storage_media_ops,
+            "storage_read_ops": self.storage_read_ops,
             "transfer_fails": self.transfer_fails,
             "transfer_timeouts": self.transfer_timeouts,
             "kernel_fails": self.kernel_fails,
             "kernel_hangs": self.kernel_hangs,
             "bitflips": self.bitflips,
             "sync_interrupts": self.sync_interrupts,
+            "torn_writes": self.torn_writes,
+            "storage_bitflips": self.storage_bitflips,
+            "partial_reads": self.partial_reads,
             "total_faults": self.total_faults,
         }
 
@@ -211,6 +226,75 @@ class FaultInjector:
         self.stats.bitflips += 1
         self._record(FaultKind.BITFLIP, site, index, (elem, bit))
         return [(elem, bit)]
+
+    # -- storage hook sites (snapshot/restore lifecycle) ----------------
+
+    def on_storage_write(self, nbytes: int,
+                         site: str = "storage.write") -> None:
+        """Called before an atomic snapshot write of ``nbytes``.
+
+        Raises :class:`TornWrite` carrying the deterministically drawn
+        fraction of the payload that reached the medium; the writer must
+        persist exactly that prefix (to a temp file — never the target
+        path) before propagating, so the crash is observable on disk.
+        """
+        if not self.active:
+            return
+        self.stats.storage_write_ops += 1
+        index = self._next_index(site)
+        rng = self._rng(site, index)
+        u_torn, u_frac = rng.random(), rng.random()
+        if u_torn < self.plan.torn_write:
+            self.stats.torn_writes += 1
+            fraction = float(u_frac)
+            self._record(FaultKind.TORN_WRITE, site, index,
+                         (nbytes, fraction))
+            raise TornWrite(site, index, fraction)
+
+    def corrupt_bytes(self, data: bytes,
+                      site: str = "storage.media") -> Tuple[bytes, list]:
+        """Possibly flip one bit of an at-rest payload.
+
+        Models silent media corruption *after* the checksum was
+        computed; returns ``(payload, flips)`` where ``flips`` lists
+        the flipped ``(byte, bit)`` positions — empty when nothing
+        fired.  The input is never mutated.
+        """
+        if not self.active or len(data) == 0:
+            return data, []
+        self.stats.storage_media_ops += 1
+        index = self._next_index(site)
+        rng = self._rng(site, index)
+        if rng.random() >= self.plan.storage_bitflip:
+            return data, []
+        byte = int(rng.integers(0, len(data)))
+        bit = int(rng.integers(0, 8))
+        out = bytearray(data)
+        out[byte] ^= 1 << bit
+        self.stats.storage_bitflips += 1
+        self._record(FaultKind.STORAGE_BITFLIP, site, index, (byte, bit))
+        return bytes(out), [(byte, bit)]
+
+    def on_storage_read(self, nbytes: int,
+                        site: str = "storage.read") -> None:
+        """Called after reading ``nbytes`` back from storage.
+
+        Raises :class:`PartialRead` carrying the fraction actually
+        read; the reader truncates its buffer to that prefix and lets
+        envelope validation reject it (length/CRC mismatch).
+        """
+        if not self.active:
+            return
+        self.stats.storage_read_ops += 1
+        index = self._next_index(site)
+        rng = self._rng(site, index)
+        u_partial, u_frac = rng.random(), rng.random()
+        if u_partial < self.plan.partial_read:
+            self.stats.partial_reads += 1
+            fraction = float(u_frac)
+            self._record(FaultKind.PARTIAL_READ, site, index,
+                         (nbytes, fraction))
+            raise PartialRead(site, index, fraction)
 
     # -- replay ---------------------------------------------------------
 

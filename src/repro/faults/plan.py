@@ -15,6 +15,9 @@ class FaultKind(enum.Enum):
     KERNEL_HANG = "kernel_hang"
     BITFLIP = "bitflip"
     SYNC_INTERRUPT = "sync_interrupt"
+    TORN_WRITE = "torn_write"
+    STORAGE_BITFLIP = "storage_bitflip"
+    PARTIAL_READ = "partial_read"
 
 
 class FaultError(RuntimeError):
@@ -64,6 +67,29 @@ class SyncInterrupted(FaultError):
         super().__init__(FaultKind.SYNC_INTERRUPT, site, index)
 
 
+class TornWrite(FaultError):
+    """The process died mid-write: only a prefix of the bytes landed.
+
+    ``fraction`` is the deterministically drawn share of the payload
+    that reached the medium before the crash.
+    """
+
+    def __init__(self, site: str, index: int, fraction: float):
+        super().__init__(FaultKind.TORN_WRITE, site, index)
+        self.fraction = fraction
+
+
+class PartialRead(FaultError):
+    """A read returned fewer bytes than the file claims to hold.
+
+    ``fraction`` is the share of the requested bytes actually read.
+    """
+
+    def __init__(self, site: str, index: int, fraction: float):
+        super().__init__(FaultKind.PARTIAL_READ, site, index)
+        self.fraction = fraction
+
+
 @dataclass(frozen=True)
 class FaultEvent:
     """One fired fault, for replay verification and post-mortems."""
@@ -92,6 +118,9 @@ class FaultPlan:
     kernel_hang: float = 0.0
     bitflip: float = 0.0
     sync_interrupt: float = 0.0
+    torn_write: float = 0.0
+    storage_bitflip: float = 0.0
+    partial_read: float = 0.0
 
     def __post_init__(self):
         for f in fields(self):
@@ -112,6 +141,18 @@ class FaultPlan:
             kernel_hang=rate,
             bitflip=rate,
             sync_interrupt=rate,
+        )
+
+    @staticmethod
+    def storage(rate: float, seed: int = 0) -> "FaultPlan":
+        """Every *storage* fault kind fires with the same per-op
+        probability; GPU-side rates stay zero (the knob the lifecycle
+        fault drill turns — see :mod:`repro.lifecycle`)."""
+        return FaultPlan(
+            seed=seed,
+            torn_write=rate,
+            storage_bitflip=rate,
+            partial_read=rate,
         )
 
     @staticmethod

@@ -1,0 +1,132 @@
+"""The on-disk snapshot envelope: magic, version, length, CRC32.
+
+A snapshot file is a fixed header followed by an opaque payload::
+
+    offset  size  field
+    0       8     magic  b"HBSNAP01"
+    8       4     format version (little-endian u32)
+    12      4     flags (reserved, 0)
+    16      8     payload length in bytes (u64)
+    24      4     CRC32 of the payload (u32)
+    28      ...   payload
+
+The header CRC covers the payload as *captured* — a bit flipped at
+rest (``storage_bitflip``) lands after the checksum is computed, so
+validation at read time catches it.  Writes are atomic: the envelope
+lands in a same-directory ``.tmp`` file, is fsynced, then renamed over
+the target, so a torn write (crash mid-stream) can leave a short temp
+file behind but never a half-written snapshot at the target path.
+
+Storage faults are injected through the
+:class:`~repro.faults.FaultInjector` hooks ``on_storage_write`` /
+``corrupt_bytes`` / ``on_storage_read`` — deterministically, like
+every other fault kind, so a crash drill replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.faults.plan import PartialRead, TornWrite
+
+MAGIC = b"HBSNAP01"
+FORMAT_VERSION = 1
+#: snapshot file suffix; anything else in the directory is ignored
+SUFFIX = ".hbsnap"
+
+_HEADER = struct.Struct("<IIQI")  # version, flags, payload_len, payload_crc
+HEADER_SIZE = len(MAGIC) + _HEADER.size
+
+
+class SnapshotCorrupt(ValueError):
+    """A snapshot file failed envelope validation (magic, version,
+    length or CRC) — the restore ladder skips it and falls back."""
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"corrupt snapshot {path}: {reason}")
+        self.path = Path(path)
+        self.reason = reason
+
+
+def write_envelope(path: Union[str, Path], payload: bytes,
+                   injector=None) -> Path:
+    """Atomically write ``payload`` inside a checksummed envelope.
+
+    An injected :class:`~repro.faults.TornWrite` persists exactly the
+    drawn prefix of the envelope to the temp file (the observable
+    crash artifact) and propagates — the target path is never touched
+    by a failed write.  An injected ``storage_bitflip`` corrupts the
+    payload *after* the CRC is computed: the write succeeds silently
+    and the damage surfaces at read time.
+    """
+    path = Path(path)
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    stored = payload
+    if injector is not None:
+        stored, _flips = injector.corrupt_bytes(payload)
+    blob = MAGIC + _HEADER.pack(FORMAT_VERSION, 0, len(stored), crc) + stored
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        if injector is not None:
+            try:
+                injector.on_storage_write(len(blob))
+            except TornWrite as fault:
+                cut = int(len(blob) * fault.fraction)
+                fh.write(blob[:cut])
+                fh.flush()
+                os.fsync(fh.fileno())
+                raise
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_envelope(path: Union[str, Path], injector=None) -> bytes:
+    """Validate and return a snapshot file's payload.
+
+    Raises :class:`SnapshotCorrupt` on any envelope violation.  An
+    injected :class:`~repro.faults.PartialRead` truncates the buffer
+    to the drawn prefix — validation then rejects it exactly as it
+    would a genuinely short read.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if injector is not None:
+        try:
+            injector.on_storage_read(len(data))
+        except PartialRead as fault:
+            data = data[: int(len(data) * fault.fraction)]
+    if len(data) < HEADER_SIZE or data[: len(MAGIC)] != MAGIC:
+        raise SnapshotCorrupt(path, "bad magic or truncated header")
+    version, _flags, length, crc = _HEADER.unpack(
+        data[len(MAGIC): HEADER_SIZE]
+    )
+    if version != FORMAT_VERSION:
+        raise SnapshotCorrupt(path, f"unsupported format version {version}")
+    payload = data[HEADER_SIZE:]
+    if len(payload) != length:
+        raise SnapshotCorrupt(
+            path, f"payload truncated ({len(payload)} of {length} bytes)"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise SnapshotCorrupt(path, "payload CRC mismatch")
+    return payload
+
+
+def peek_version(path: Union[str, Path]) -> Optional[int]:
+    """The format version of a snapshot file, or None if the header is
+    unreadable (too short / wrong magic)."""
+    try:
+        data = Path(path).read_bytes()
+    except OSError:
+        return None
+    if len(data) < HEADER_SIZE or data[: len(MAGIC)] != MAGIC:
+        return None
+    version = _HEADER.unpack(data[len(MAGIC): HEADER_SIZE])[0]
+    return int(version)

@@ -23,6 +23,7 @@ from repro.obs.export import (
     publish_adaptive,
     publish_device,
     publish_engine,
+    publish_lifecycle,
     publish_link,
     publish_memory,
     publish_resilience,
@@ -57,6 +58,7 @@ __all__ = [
     "publish_adaptive",
     "publish_device",
     "publish_engine",
+    "publish_lifecycle",
     "publish_link",
     "publish_memory",
     "publish_resilience",

@@ -115,9 +115,19 @@ def publish_adaptive(metrics: MetricsRegistry, controller,
     )
 
 
+def publish_lifecycle(metrics: MetricsRegistry, manager,
+                      **labels) -> None:
+    """A :class:`repro.lifecycle.SnapshotManager`: snapshot/restore
+    counters plus the number of snapshots currently on disk."""
+    publish(metrics, "lifecycle", manager.stats, **labels)
+    metrics.gauge("lifecycle.on_disk", **labels).set(
+        len(manager.snapshots())
+    )
+
+
 def collect_all(metrics: MetricsRegistry, tree=None, engine=None,
                 engine_label: str = "batch", resilient=None,
-                adaptive=None, **labels) -> Dict[str, Any]:
+                adaptive=None, lifecycle=None, **labels) -> Dict[str, Any]:
     """One-call convenience: publish whatever is given, return the
     registry snapshot."""
     if tree is not None:
@@ -128,4 +138,6 @@ def collect_all(metrics: MetricsRegistry, tree=None, engine=None,
         publish_resilience(metrics, resilient, **labels)
     if adaptive is not None:
         publish_adaptive(metrics, adaptive, **labels)
+    if lifecycle is not None:
+        publish_lifecycle(metrics, lifecycle, **labels)
     return metrics.snapshot()

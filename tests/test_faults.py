@@ -10,7 +10,9 @@ from repro.faults import (
     FaultPlan,
     KernelHang,
     KernelLaunchFault,
+    PartialRead,
     SyncInterrupted,
+    TornWrite,
     TransferFault,
     TransferTimeout,
 )
@@ -181,3 +183,115 @@ class TestInjectorBehavior:
         assert event.kind is FaultKind.SYNC_INTERRUPT
         assert event.site == "sync"
         assert event.index == 0
+
+
+class TestStorageFaults:
+    def test_storage_plan_sets_only_storage_rates(self):
+        plan = FaultPlan.storage(0.4, seed=6)
+        assert plan.seed == 6
+        for name in ("torn_write", "storage_bitflip", "partial_read"):
+            assert getattr(plan, name) == 0.4
+        for name in (
+            "transfer_fail", "transfer_timeout", "kernel_fail",
+            "kernel_hang", "sync_interrupt", "bitflip",
+        ):
+            assert getattr(plan, name) == 0.0
+
+    def test_torn_write_carries_fraction(self):
+        inj = FaultInjector(FaultPlan(seed=1, torn_write=1.0))
+        with pytest.raises(TornWrite) as exc:
+            inj.on_storage_write(1024)
+        assert 0.0 <= exc.value.fraction < 1.0
+        assert inj.stats.torn_writes == 1
+        assert inj.stats.storage_write_ops == 1
+
+    def test_partial_read_carries_fraction(self):
+        inj = FaultInjector(FaultPlan(seed=1, partial_read=1.0))
+        with pytest.raises(PartialRead) as exc:
+            inj.on_storage_read(1024)
+        assert 0.0 <= exc.value.fraction < 1.0
+        assert inj.stats.partial_reads == 1
+        assert inj.stats.storage_read_ops == 1
+
+    def test_corrupt_bytes_flips_one_bit_on_a_copy(self):
+        inj = FaultInjector(FaultPlan(seed=1, storage_bitflip=1.0))
+        original = bytes(range(64))
+        corrupted, flips = inj.corrupt_bytes(original)
+        assert original == bytes(range(64))  # input never mutated
+        assert len(flips) == 1
+        diff = [
+            (i, a ^ b) for i, (a, b) in enumerate(zip(original, corrupted))
+            if a != b
+        ]
+        assert len(diff) == 1
+        byte, xor = diff[0]
+        assert byte == flips[0][0]
+        assert xor == 1 << flips[0][1]
+        assert inj.stats.storage_bitflips == 1
+
+    def test_corrupt_bytes_noop_on_empty(self):
+        inj = FaultInjector(FaultPlan(seed=1, storage_bitflip=1.0))
+        corrupted, flips = inj.corrupt_bytes(b"")
+        assert corrupted == b""
+        assert flips == []
+
+    def test_zero_rate_never_fires(self):
+        inj = FaultInjector(FaultPlan(seed=1))
+        for _ in range(50):
+            inj.on_storage_write(128)
+            inj.on_storage_read(128)
+            data, flips = inj.corrupt_bytes(b"abc")
+            assert data == b"abc" and flips == []
+        assert inj.stats.total_faults == 0
+        assert inj.stats.storage_write_ops == 50
+
+    def test_storage_schedule_replays_deterministically(self):
+        def drive(inj):
+            for _ in range(30):
+                try:
+                    inj.on_storage_write(4096)
+                except TornWrite:
+                    pass
+                inj.corrupt_bytes(b"payload" * 10)
+                try:
+                    inj.on_storage_read(4096)
+                except PartialRead:
+                    pass
+            return inj.schedule()
+
+        a = drive(FaultInjector(FaultPlan.storage(0.35, seed=77)))
+        b = drive(FaultInjector(FaultPlan.storage(0.35, seed=77)))
+        c = drive(FaultInjector(FaultPlan.storage(0.35, seed=78)))
+        assert a == b
+        assert a != c
+        assert len(a) > 0
+
+    def test_storage_sites_independent_of_gpu_sites(self):
+        plan = FaultPlan(seed=12, torn_write=0.5, transfer_fail=0.5)
+
+        def storage_schedule(inj):
+            for _ in range(20):
+                try:
+                    inj.on_storage_write(64)
+                except TornWrite:
+                    pass
+            return [e for e in inj.schedule() if e[1] == "storage.write"]
+
+        alone = storage_schedule(FaultInjector(plan))
+        mixed_inj = FaultInjector(plan)
+        for _ in range(20):  # interleave GPU-site ops
+            try:
+                mixed_inj.on_transfer(64)
+            except FaultError:
+                pass
+        mixed = storage_schedule(mixed_inj)
+        assert alone == mixed
+
+    def test_paused_suppresses_storage_faults(self):
+        inj = FaultInjector(FaultPlan.storage(1.0, seed=2))
+        with inj.paused():
+            inj.on_storage_write(64)
+            inj.on_storage_read(64)
+            data, flips = inj.corrupt_bytes(b"xy")
+        assert data == b"xy" and flips == []
+        assert inj.stats.total_faults == 0

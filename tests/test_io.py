@@ -164,3 +164,81 @@ class TestMergeRebuild:
         rebuild_work = full_times.l_segment_ns + full_times.i_segment_ns
         merge_work = merge_times.l_segment_ns + merge_times.i_segment_ns
         assert merge_work < rebuild_work
+
+
+class TestAtomicity:
+    def test_save_leaves_no_temp_file(self, data, tmp_path):
+        keys, values = data
+        save_index(CssTree(keys, values), tmp_path / "idx")
+        assert [p.name for p in tmp_path.iterdir()] == ["idx.npz"]
+
+    def test_save_replaces_existing_archive(self, data, tmp_path):
+        keys, values = data
+        path = save_index(RegularCpuBPlusTree(keys, values),
+                          tmp_path / "idx")
+        save_index(CssTree(keys, values), tmp_path / "idx")
+        loaded = load_index(path)
+        assert isinstance(loaded, CssTree)
+
+
+class TestVersionGate:
+    def test_missing_version_rejected(self, tmp_path):
+        path = tmp_path / "old.npz"
+        np.savez(path, keys=np.arange(4, dtype=np.uint64),
+                 values=np.arange(4, dtype=np.uint64),
+                 meta=np.array(["kind=css", "key_bits=64"]))
+        with pytest.raises(ValueError, match="no version meta"):
+            load_index(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "new.npz"
+        np.savez(path, keys=np.arange(4, dtype=np.uint64),
+                 values=np.arange(4, dtype=np.uint64),
+                 meta=np.array(["version=99", "kind=css", "key_bits=64"]))
+        with pytest.raises(ValueError, match="version"):
+            load_index(path)
+
+
+class TestEmptyTrees:
+    """Empty-tree round trips must preserve key dtype exactly.
+
+    Only the insert-capable kinds can represent zero tuples; the
+    bulk-only kinds reject empty construction, and this matrix
+    documents which is which.
+    """
+
+    @pytest.mark.parametrize("build", [
+        lambda m1: RegularCpuBPlusTree((), ()),
+        lambda m1: HBPlusTree((), (), machine=m1),
+    ], ids=["regular-cpu", "hb-regular"])
+    def test_empty_round_trip(self, build, m1, tmp_path):
+        tree = build(m1)
+        loaded = load_index(save_index(tree, tmp_path / "empty"),
+                            machine=m1)
+        assert type(loaded) is type(tree)
+        got = loaded.lookup_batch(np.array([1, 2], dtype=np.uint64))
+        assert got.dtype == np.uint64
+        assert np.array_equal(
+            got, np.full(2, loaded.spec.max_value, dtype=np.uint64)
+        )
+        # and the reloaded empty tree still accepts inserts
+        target = loaded.cpu_tree if isinstance(loaded, HBPlusTree) \
+            else loaded
+        target.insert(42, 7)
+        assert target.lookup(42) == 7
+
+    def test_empty_round_trip_32bit(self, tmp_path):
+        tree = RegularCpuBPlusTree((), (), key_bits=32)
+        loaded = load_index(save_index(tree, tmp_path / "e32"))
+        got = loaded.lookup_batch(np.array([1], dtype=np.uint32))
+        assert got.dtype == np.uint32
+
+    @pytest.mark.parametrize("build", [
+        lambda m1: ImplicitCpuBPlusTree((), ()),
+        lambda m1: CssTree((), ()),
+        lambda m1: FastTree((), ()),
+        lambda m1: ImplicitHBPlusTree((), (), machine=m1),
+    ], ids=["implicit-cpu", "css", "fast", "hb-implicit"])
+    def test_bulk_only_kinds_reject_empty(self, build, m1):
+        with pytest.raises(ValueError):
+            build(m1)
