@@ -3,6 +3,17 @@
 Not a paper figure: these quantify how expensive the literal SIMT
 interpreter is relative to the vectorised kernel twins, which is the
 reason the benchmarks use the twins (the tests assert equivalence).
+
+Run as a script this file is also the CLI for the frontier-kernel
+benchmark gate (DESIGN.md §13)::
+
+    PYTHONPATH=src python benchmarks/bench_simt_kernels.py --frontier \
+        [--smoke] [--out BENCH_pr7.json]
+
+which measures the level-wise frontier kernel against the per-query
+Snippet-3 kernel on uniform and Zipf traffic, verifies cost-model
+kernel selection, writes the report, and exits non-zero when any gate
+in :func:`repro.bench.frontier.gate_failures` fails.
 """
 
 import numpy as np
@@ -30,6 +41,16 @@ def test_literal_simt_kernel_cost(benchmark, small_tree):
 
 
 @pytest.mark.benchmark(group="simt")
+def test_literal_frontier_kernel_cost(benchmark, small_tree):
+    tree, keys = small_tree
+    sample = np.asarray(keys[:32], dtype=np.uint64)
+    benchmark.pedantic(
+        lambda: tree.gpu_search_bucket_literal(sample, kernel="frontier"),
+        rounds=3, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="simt")
 def test_vectorized_kernel_cost(benchmark, small_tree):
     tree, keys = small_tree
     sample = np.asarray(keys[:2048], dtype=np.uint64)
@@ -37,6 +58,81 @@ def test_vectorized_kernel_cost(benchmark, small_tree):
 
 
 @pytest.mark.benchmark(group="simt")
+def test_vectorized_frontier_kernel_cost(benchmark, small_tree):
+    tree, keys = small_tree
+    sample = np.unique(np.asarray(keys[:2048], dtype=np.uint64))
+    benchmark(lambda: tree.gpu_search_bucket(sample, kernel="frontier"))
+
+
+@pytest.mark.benchmark(group="simt")
 def test_coalescer_cost(benchmark):
     ranges = [(i * 8, 8) for i in range(32)]
     benchmark(coalesce, ranges)
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import sys
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--frontier", action="store_true",
+        help="run the frontier-kernel benchmark gate (BENCH_pr7)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small dataset for CI (sub-second instead of seconds)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_pr7.json",
+        help="output JSON path (default: BENCH_pr7.json)",
+    )
+    args = parser.parse_args(argv)
+    if not args.frontier:
+        parser.error("script mode currently only implements --frontier; "
+                     "run the pytest benchmarks with "
+                     "`pytest benchmarks/bench_simt_kernels.py`")
+
+    from repro.bench.frontier import gate_failures, run_frontier
+
+    report = run_frontier(smoke=args.smoke)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wrote {args.out} ({report['mode']} mode)")
+    print(
+        f"  tree: {report['keys']} keys, height {report['tree_height']}, "
+        f"bucket {report['bucket_size']} on {report['machine']}"
+    )
+    for row in report["workloads"]:
+        pq, fr = row["per_query"], row["frontier"]
+        print(
+            f"  {row['workload']}: per_query "
+            f"{pq['transactions_per_query']:.4f} txns/query -> frontier "
+            f"{fr['transactions_per_query']:.4f} "
+            f"({100 * row['transaction_reduction']:.1f}% saved, "
+            f"identical={row['bit_identical']})"
+        )
+    sb = report["single_bucket"]
+    print(
+        f"  single sorted bucket ({sb['bucket_queries']} queries, "
+        f"depth {sb['gpu_depth']}): {sb['per_query_transactions']} -> "
+        f"{sb['frontier_transactions']} transactions"
+    )
+    sel = report["selection"]
+    print(
+        f"  selection: committed kernel={sel['committed']['kernel']} "
+        f"D={sel['committed']['depth']} R={sel['committed']['ratio']} "
+        f"({sel['committed']['cost_ns']:.0f} ns); adaptive agrees: "
+        f"{sel['adaptive_kernel'] == sel['committed']['kernel']}"
+    )
+
+    failures = gate_failures(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

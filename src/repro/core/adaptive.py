@@ -50,6 +50,11 @@ from repro.core.load_balance import (
     LoadBalancer,
     SplitCostModel,
 )
+from repro.gpusim.kernels.frontier_search import (
+    KERNELS,
+    PER_QUERY,
+    validate_kernel,
+)
 from repro.obs import NULL_OBS
 from repro.platform.costmodel import CpuCostModel
 
@@ -104,6 +109,7 @@ class AdaptiveStats:
     last_gain: float = 0.0
     depth: int = 0
     ratio: float = 0.0
+    kernel: str = PER_QUERY
 
     def snapshot(self) -> Dict[str, float]:
         return dataclasses.asdict(self)
@@ -117,9 +123,11 @@ class StaticSplit:
     by swapping one constructor argument.
     """
 
-    def __init__(self, depth: int = 0, ratio: float = 0.0):
+    def __init__(self, depth: int = 0, ratio: float = 0.0,
+                 kernel: str = PER_QUERY):
         self.depth = depth
         self.ratio = ratio
+        self.kernel = validate_kernel(kernel)
 
     def split(self) -> Split:
         return (self.depth, self.ratio)
@@ -142,12 +150,18 @@ class RegularModeBalancer(SplitCostModel):
 
     def __init__(self, tree, bucket_size: Optional[int] = None,
                  cpu_model: Optional[CpuCostModel] = None,
-                 reprofile_on_init: bool = True):
+                 reprofile_on_init: bool = True,
+                 allowed_kernels: Optional[Tuple[str, ...]] = None):
         self.tree = tree
         self.machine = tree.machine
         self.bucket_size = bucket_size or self.machine.bucket_size
         self.cpu_model = cpu_model or CpuCostModel(self.machine.cpu)
         self.adapter = RegularHBAdapter(tree)
+        if allowed_kernels is not None:
+            allowed_kernels = tuple(
+                validate_kernel(k) for k in allowed_kernels
+            )
+        self.allowed_kernels = allowed_kernels
         if reprofile_on_init:
             self.reprofile()
         self.depth = 0
@@ -186,29 +200,30 @@ class RegularModeBalancer(SplitCostModel):
         ]
         self.leaf_ns = model.query_ns(leaf_profile)
         h = max(1, self.height)
-        txns = self.tree.modeled_transactions(sample)
-        txn_per_query_level = txns / max(1, len(sample)) / h
         gpu = self.machine.gpu
-        self.gpu_level_ns = [
-            txn_per_query_level * 64.0 / gpu.effective_bandwidth_gbs
-        ] * h
+        self.gpu_level_ns_by_kernel = {}
+        for kern in KERNELS:
+            txns = self.tree.modeled_transactions(sample, kernel=kern)
+            txn_per_query_level = txns / max(1, len(sample)) / h
+            self.gpu_level_ns_by_kernel[kern] = [
+                txn_per_query_level * 64.0 / gpu.effective_bandwidth_gbs
+            ] * h
+        self.gpu_level_ns = self.gpu_level_ns_by_kernel[PER_QUERY]
 
-    def discover(self, bucket_size: Optional[int] = None) -> DiscoveryResult:
-        """Algorithm 1 restricted to the two modes the tree can run."""
+    def _discover_kernel(self, kernel: str, bucket_size: Optional[int]):
+        """Algorithm 1 restricted to the two modes the tree can run,
+        priced with ``kernel``'s level costs.  The shared
+        :meth:`SplitCostModel.discover` then iterates this over every
+        measured kernel and commits the cheapest (kernel, mode)."""
         h = self.height
         samples: List[Tuple[int, float, float, float]] = []
         for depth, ratio in ((0, 0.0), (h, 1.0)):
-            time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+            time_gpu, time_cpu = self.sample_times(
+                depth, ratio, bucket_size, kernel=kernel
+            )
             samples.append((depth, ratio, time_gpu, time_cpu))
-        depth, ratio, time_gpu, time_cpu = min(
-            samples, key=lambda s: max(s[2], s[3])
-        )
-        self.depth = depth
-        self.ratio = ratio
-        return DiscoveryResult(
-            depth=depth, ratio=ratio, samples=samples,
-            cost_ns=max(time_gpu, time_cpu),
-        )
+        best = min(samples, key=lambda s: max(s[2], s[3]))
+        return samples, best
 
 
 class AdaptiveController:
@@ -242,9 +257,13 @@ class AdaptiveController:
         if discover_on_init:
             result = balancer.discover()
             self.depth, self.ratio = result.depth, result.ratio
+            self.kernel = result.kernel
         else:
             self.depth, self.ratio = balancer.depth, balancer.ratio
+            self.kernel = getattr(balancer, "kernel", PER_QUERY)
         self.stats.depth, self.stats.ratio = self.depth, self.ratio
+        self.stats.kernel = self.kernel
+        self._push_tree_kernel(self.kernel)
 
     # ------------------------------------------------------------------
     # construction conveniences
@@ -252,21 +271,30 @@ class AdaptiveController:
     @classmethod
     def for_tree(cls, tree, config: Optional[AdaptiveConfig] = None,
                  bucket_size: Optional[int] = None, obs=None,
-                 discover_on_init: bool = True) -> "AdaptiveController":
+                 discover_on_init: bool = True,
+                 allowed_kernels: Optional[Tuple[str, ...]] = None,
+                 ) -> "AdaptiveController":
         """Build the right balancer for the given hybrid tree.
 
         Trees with a mid-tree GPU resume path (the implicit tree) get
         the full (D, R) space through :class:`LoadBalancer`, profiled
         on the sorted-distinct stream the batch engines actually run;
         the regular tree gets the two-mode
-        :class:`RegularModeBalancer`.
+        :class:`RegularModeBalancer`.  ``allowed_kernels`` restricts
+        the kernel dimension of discovery (e.g. ``("per_query",)``
+        pins the Snippet-3 schedule; the default considers every
+        measured kernel).
         """
         if getattr(tree, "supports_split_descent", False):
             balancer: SplitCostModel = LoadBalancer(
-                tree, bucket_size=bucket_size, sort_batches=True
+                tree, bucket_size=bucket_size, sort_batches=True,
+                allowed_kernels=allowed_kernels,
             )
         else:
-            balancer = RegularModeBalancer(tree, bucket_size=bucket_size)
+            balancer = RegularModeBalancer(
+                tree, bucket_size=bucket_size,
+                allowed_kernels=allowed_kernels,
+            )
         return cls(balancer, config=config, obs=obs,
                    discover_on_init=discover_on_init)
 
@@ -293,6 +321,8 @@ class AdaptiveController:
             balancer = RegularModeBalancer(tree, bucket_size=bucket_size,
                                            reprofile_on_init=False)
         balancer.depth, balancer.ratio = int(split[0]), float(split[1])
+        if len(split) > 2:
+            balancer.kernel = validate_kernel(split[2])
         return cls(balancer, config=config, obs=obs,
                    discover_on_init=False)
 
@@ -370,17 +400,20 @@ class AdaptiveController:
         self.stats.evaluations += 1
         balancer.reprofile(sample)
         result = balancer.discover()
-        current_cost = balancer.balanced_cost_ns(self.depth, self.ratio)
         # discover() moved the balancer to the candidate; the applied
-        # split is still ours until hysteresis confirms the move
+        # split (and kernel) is still ours until hysteresis confirms
+        # the move — restore before pricing the current split
         balancer.depth, balancer.ratio = self.depth, self.ratio
-        candidate: Split = (result.depth, result.ratio)
+        balancer.kernel = self.kernel
+        current_cost = balancer.balanced_cost_ns(self.depth, self.ratio)
+        candidate = (result.depth, result.ratio, result.kernel)
         gain = (
             1.0 - result.cost_ns / current_cost if current_cost > 0 else 0.0
         )
         self.stats.last_gain = gain
         self.obs.gauge("live.rebalance.gain", gain)
-        if candidate == (self.depth, self.ratio) or gain < cfg.hysteresis_gain:
+        if (candidate == (self.depth, self.ratio, self.kernel)
+                or gain < cfg.hysteresis_gain):
             self._pending, self._streak = None, 0
             return
         self.stats.proposals += 1
@@ -390,14 +423,39 @@ class AdaptiveController:
         else:
             self._pending, self._streak = candidate, 1
         if self._streak >= cfg.confirm_windows:
-            self._apply(candidate, gain, reason="drift")
+            self._apply(candidate[:2], gain, reason="drift",
+                        kernel=candidate[2])
 
-    def _apply(self, split: Split, gain: float, reason: str) -> None:
-        moved = split != (self.depth, self.ratio)
+    def _push_tree_kernel(self, kernel: str) -> None:
+        """Propagate the chosen kernel to trees the engines do not
+        plumb it to explicitly.
+
+        The batch engines read the kernel from the balancer at dispatch
+        time, but the regular tree served through
+        :class:`~repro.core.resilience.ResilientHBPlusTree` reaches
+        ``gpu_search_bucket`` with no kernel argument — its tree-level
+        default is the only channel, so the controller owns it.
+        """
+        tree = getattr(self.balancer, "tree", None)
+        if (tree is not None
+                and not getattr(tree, "supports_split_descent", False)
+                and hasattr(tree, "kernel")):
+            tree.kernel = kernel
+
+    def _apply(self, split: Split, gain: float, reason: str,
+               kernel: Optional[str] = None) -> None:
+        kern = kernel if kernel is not None else self.kernel
+        moved = (split[0], split[1], kern) != (
+            self.depth, self.ratio, self.kernel
+        )
         self.depth, self.ratio = split
+        self.kernel = kern
         self.balancer.depth, self.balancer.ratio = split
+        self.balancer.kernel = kern
+        self._push_tree_kernel(kern)
         self._pending, self._streak = None, 0
         self.stats.depth, self.stats.ratio = split
+        self.stats.kernel = kern
         if moved:
             self.stats.rebalances += 1
             self.obs.count("live.rebalance.applied", reason=reason)
@@ -405,7 +463,7 @@ class AdaptiveController:
         self.obs.gauge("live.rebalance.ratio", float(self.ratio))
         self.obs.emit(
             "rebalance", depth=self.depth, ratio=self.ratio,
-            gain=gain, reason=reason, moved=moved,
+            kernel=kern, gain=gain, reason=reason, moved=moved,
         )
 
     # ------------------------------------------------------------------
@@ -434,5 +492,6 @@ class AdaptiveController:
         self.stats.rediscoveries += 1
         self.balancer.reprofile(self._last_sample)
         result = self.balancer.discover()
-        self._apply((result.depth, result.ratio), gain=0.0, reason=reason)
+        self._apply((result.depth, result.ratio), gain=0.0, reason=reason,
+                    kernel=result.kernel)
         return result

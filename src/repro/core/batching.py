@@ -39,6 +39,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.buckets import DEFAULT_BUCKET_SIZE, iter_buckets
+from repro.gpusim.kernels.frontier_search import validate_kernel
 from repro.obs import NULL_OBS
 
 
@@ -142,12 +143,16 @@ class BatchingEngine:
     """
 
     def __init__(self, tree, bucket_size: Optional[int] = None,
-                 measure_baseline: bool = False, obs=None, balancer=None):
+                 measure_baseline: bool = False, obs=None, balancer=None,
+                 kernel: Optional[str] = None):
         self.tree = tree
         self.bucket_size = bucket_size or getattr(
             getattr(tree, "machine", None), "bucket_size", DEFAULT_BUCKET_SIZE
         )
         self.measure_baseline = measure_baseline
+        #: explicit GPU kernel override; ``None`` defers to the
+        #: balancer's discovered kernel, then the tree default
+        self.kernel = validate_kernel(kernel) if kernel is not None else None
         self.stats = BatchStats()
         #: serializes batch entry against :meth:`quiesce` so a snapshot
         #: taken under load sees a consistent tree between batches
@@ -185,28 +190,42 @@ class BatchingEngine:
             return result.codes
         return result.leaf_indices
 
+    def _bucket_kernel(self) -> Optional[str]:
+        """The GPU kernel for the next bucket (None = tree default)."""
+        if self.kernel is not None:
+            return self.kernel
+        if self.balancer is not None:
+            return getattr(self.balancer, "kernel", None)
+        return None
+
     def _descend(self, plan: BucketPlan):
         """The inner-level stage, split per the balancer when present.
 
-        The split is read once per bucket at dispatch and the bucket's
-        arrival-order queries are fed back to the balancer serially —
-        rebalance decisions are a deterministic function of the bucket
-        sequence.  A split moves levels between processors, never
-        results: (D=0, R=0) reproduces ``gpu_search_bucket`` exactly
-        (leaf indices *and* transaction count).
+        The split — and the kernel it was priced with — is read once
+        per bucket at dispatch, *before* the bucket's arrival-order
+        queries are fed back to the balancer (feeding back may close a
+        window and move the committed split); rebalance decisions are a
+        deterministic function of the bucket sequence.  A split moves
+        levels between processors and a kernel moves the traversal
+        schedule, never results: (D=0, R=0) reproduces
+        ``gpu_search_bucket`` exactly (leaf indices *and* transaction
+        count), and every kernel returns bit-identical leaves.
         """
         if self.balancer is None:
-            return self.tree.gpu_search_bucket(plan.sorted_unique)
+            return self.tree.gpu_search_bucket(
+                plan.sorted_unique, kernel=self._bucket_kernel()
+            )
         from repro.core.adaptive import split_levels
 
         depth, ratio = self.balancer.split()
+        kernel = self._bucket_kernel()
         self.balancer.note_bucket(plan.queries)
         levels = split_levels(
             plan.n_unique, depth, ratio, self.tree.height
         )
         nodes = self.tree.cpu_descend_top(plan.sorted_unique, levels)
         return self.tree.gpu_search_bucket_from(
-            plan.sorted_unique, levels, nodes
+            plan.sorted_unique, levels, nodes, kernel=kernel
         )
 
     def execute_bucket(self, queries: Sequence):
@@ -219,7 +238,9 @@ class BatchingEngine:
         plan = plan_bucket(queries, dtype=self.tree.spec.dtype)
         if plan.n_queries == 0:
             empty = np.zeros(0, dtype=self.tree.spec.dtype)
-            return empty, self.tree.gpu_search_bucket(plan.sorted_unique)
+            return empty, self.tree.gpu_search_bucket(
+                plan.sorted_unique, kernel=self._bucket_kernel()
+            )
         index = self.stats.buckets
         obs.emit(
             "bucket_start", index=index,

@@ -30,6 +30,11 @@ import numpy as np
 from repro.cpu.btree_regular import RegularCpuBPlusTree
 from repro.cpu.node_search import NodeSearchAlgorithm
 from repro.gpusim.device import GpuDevice
+from repro.gpusim.kernels.frontier_search import (
+    FRONTIER,
+    PER_QUERY,
+    validate_kernel,
+)
 from repro.gpusim.kernels.regular_search import (
     launch_regular_search,
     regular_search_vectorized,
@@ -127,6 +132,10 @@ class HBPlusTree:
         #: :class:`repro.obs.Observability`; the shared disabled bundle
         #: until :meth:`attach_obs` threads a live one through
         self.obs = NULL_OBS
+        #: default GPU search kernel for calls that do not pass one —
+        #: ``"per_query"`` charges warp-window coalescing, ``"frontier"``
+        #: level-wise block-wide dedup (same 3-step descent either way)
+        self.kernel = PER_QUERY
         self.mirror_i_segment()
         if injector is not None:
             self.attach_injector(injector)
@@ -379,7 +388,13 @@ class HBPlusTree:
         self.device.begin_launch()
         return True
 
-    def gpu_descend(self, queries: np.ndarray) -> "tuple[np.ndarray, int]":
+    def _resolve_kernel(self, kernel: Optional[str]) -> str:
+        """``kernel`` argument, or this tree's default; validated."""
+        return validate_kernel(kernel if kernel is not None else self.kernel)
+
+    def gpu_descend(
+        self, queries: np.ndarray, kernel: Optional[str] = None
+    ) -> "tuple[np.ndarray, int]":
         """Pure stage-2 descent: ``(codes, transactions)``.
 
         No launch screening, no counter mutation — safe to call from
@@ -388,8 +403,15 @@ class HBPlusTree:
         with :meth:`gpu_begin_bucket` and merge the transactions into
         the device counters, which is what :meth:`gpu_search_bucket`
         and :class:`repro.core.overlap.OverlappedEngine` both do.
+
+        ``kernel="frontier"`` keeps the same 3-step descent (the
+        regular layout has no level-contiguous I-segment to sweep) but
+        accounts transactions with block-wide level-by-level dedup —
+        one line per distinct (node, line) across the whole bucket —
+        instead of per-warp windows.  Codes are identical either way.
         """
         q = np.asarray(queries, dtype=self.spec.dtype)
+        kern = self._resolve_kernel(kernel)
         if len(q) == 0:
             return np.zeros(0, dtype=np.int64), 0
         return regular_search_vectorized(
@@ -402,32 +424,39 @@ class HBPlusTree:
             self.last_base,
             q,
             teams_per_warp=self.teams_per_warp,
+            frontier_block=len(q) if kern == FRONTIER else None,
         )
 
-    def gpu_search_bucket(self, queries: np.ndarray) -> GpuSearchResult:
+    def gpu_search_bucket(
+        self, queries: np.ndarray, kernel: Optional[str] = None
+    ) -> GpuSearchResult:
         """Stage 2: 3-step descent of all inner levels on the GPU."""
         q = np.asarray(queries, dtype=self.spec.dtype)
+        kern = self._resolve_kernel(kernel)
         if not self.gpu_begin_bucket(len(q)):
             # an empty bucket launches nothing and costs nothing
             return GpuSearchResult(
                 codes=np.zeros(0, dtype=np.int64), transactions=0
             )
-        codes, txns = self.gpu_descend(q)
+        codes, txns = self.gpu_descend(q, kernel=kern)
         self.device.memory.counters.transactions_64 += txns
         self.device.memory.counters.bytes_moved += txns * 64
         return GpuSearchResult(codes=codes, transactions=txns)
 
-    def modeled_transactions(self, queries: np.ndarray) -> int:
+    def modeled_transactions(
+        self, queries: np.ndarray, kernel: Optional[str] = None
+    ) -> int:
         """Transactions the GPU stage would charge for ``queries``.
 
         Pure measurement through the coalescing model — no kernel
         launch, no device counters.  Used by the batch engine to price
-        the arrival-order baseline of a sorted bucket.
+        the arrival-order baseline of a sorted bucket, and by the mode
+        balancer to price each kernel when it profiles.
         """
         q = np.asarray(queries, dtype=self.spec.dtype)
         if len(q) == 0:
             return 0
-        _codes, txns = self.gpu_descend(q)
+        _codes, txns = self.gpu_descend(q, kernel=kernel)
         return txns
 
     def gpu_search_bucket_literal(self, queries: np.ndarray) -> np.ndarray:

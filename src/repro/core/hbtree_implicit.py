@@ -27,6 +27,14 @@ import numpy as np
 from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
 from repro.cpu.node_search import NodeSearchAlgorithm
 from repro.gpusim.device import GpuDevice
+from repro.gpusim.kernels.frontier_search import (
+    FRONTIER,
+    PER_QUERY,
+    frontier_search_from_counted,
+    frontier_search_vectorized,
+    launch_frontier_search,
+    validate_kernel,
+)
 from repro.gpusim.kernels.implicit_search import (
     implicit_search_from_counted,
     implicit_search_vectorized,
@@ -129,6 +137,10 @@ class ImplicitHBPlusTree:
         #: :class:`repro.obs.Observability`; the shared disabled bundle
         #: until :meth:`attach_obs` threads a live one through
         self.obs = NULL_OBS
+        #: default GPU search kernel for calls that do not pass one —
+        #: ``"per_query"`` (Snippet 3) or ``"frontier"`` (level-wise);
+        #: the engines/balancers override per bucket via ``kernel=``
+        self.kernel = PER_QUERY
         self._mirror_i_segment()
 
     def attach_obs(self, obs) -> None:
@@ -203,16 +215,35 @@ class ImplicitHBPlusTree:
         self.device.kernel_launches += 1
         return True
 
-    def gpu_descend(self, queries: np.ndarray) -> "tuple[np.ndarray, int]":
+    def _resolve_kernel(self, kernel: Optional[str]) -> str:
+        """``kernel`` argument, or this tree's default; validated."""
+        return validate_kernel(kernel if kernel is not None else self.kernel)
+
+    def gpu_descend(
+        self, queries: np.ndarray, kernel: Optional[str] = None
+    ) -> "tuple[np.ndarray, int]":
         """Pure stage-2 descent: ``(leaf_indices, transactions)``.
 
         No launch counting, no counter mutation — thread-safe over the
         read-only mirror.  ``gpu_depth == 0`` yields all-zero leaf
-        indices, matching :meth:`gpu_search_bucket`.
+        indices, matching :meth:`gpu_search_bucket`.  ``kernel`` picks
+        the per-query Snippet-3 descent or the level-wise frontier
+        descent — identical leaf indices either way, different
+        transaction accounting.
         """
         q = np.asarray(queries, dtype=self.spec.dtype)
+        kern = self._resolve_kernel(kernel)
         if len(q) == 0 or self.gpu_depth == 0:
             return np.zeros(len(q), dtype=np.int64), 0
+        if kern == FRONTIER:
+            return frontier_search_vectorized(
+                self.iseg_buffer.array,
+                self.level_offsets,
+                self.level_sizes,
+                self.gpu_depth,
+                self.cpu_tree.fanout,
+                q,
+            )
         return implicit_search_vectorized(
             self.iseg_buffer.array,
             self.level_offsets,
@@ -223,14 +254,17 @@ class ImplicitHBPlusTree:
             teams_per_warp=self.teams_per_warp,
         )
 
-    def gpu_search_bucket(self, queries: np.ndarray) -> GpuSearchResult:
+    def gpu_search_bucket(
+        self, queries: np.ndarray, kernel: Optional[str] = None
+    ) -> GpuSearchResult:
         """Stage 2: traverse all inner levels on the (simulated) GPU."""
         q = np.asarray(queries, dtype=self.spec.dtype)
+        kern = self._resolve_kernel(kernel)
         if not self.gpu_begin_bucket(len(q)):
             return GpuSearchResult(
                 leaf_indices=np.zeros(len(q), dtype=np.int64), transactions=0
             )
-        leaf, txns = self.gpu_descend(q)
+        leaf, txns = self.gpu_descend(q, kernel=kern)
         self.device.memory.counters.transactions_64 += txns
         self.device.memory.counters.bytes_moved += txns * 64
         return GpuSearchResult(leaf_indices=leaf, transactions=txns)
@@ -274,6 +308,7 @@ class ImplicitHBPlusTree:
         queries: np.ndarray,
         start_levels: np.ndarray,
         start_nodes: np.ndarray,
+        kernel: Optional[str] = None,
     ) -> "tuple[np.ndarray, int]":
         """Pure stage-2 descent resumed from per-query (level, node).
 
@@ -283,12 +318,24 @@ class ImplicitHBPlusTree:
         :meth:`gpu_descend` (the unbalanced corner of the split space).
         """
         q = np.asarray(queries, dtype=self.spec.dtype)
+        kern = self._resolve_kernel(kernel)
         start = np.asarray(start_levels, dtype=np.int64)
         nodes = np.asarray(start_nodes, dtype=np.int64)
         if len(q) == 0 or self.gpu_depth == 0 or not np.any(
             start < self.gpu_depth
         ):
             return nodes.copy(), 0
+        if kern == FRONTIER:
+            return frontier_search_from_counted(
+                self.iseg_buffer.array,
+                self.level_offsets,
+                self.level_sizes,
+                self.gpu_depth,
+                self.cpu_tree.fanout,
+                q,
+                start_levels=start,
+                start_nodes=nodes,
+            )
         return implicit_search_from_counted(
             self.iseg_buffer.array,
             self.level_offsets,
@@ -306,6 +353,7 @@ class ImplicitHBPlusTree:
         queries: np.ndarray,
         start_levels: np.ndarray,
         start_nodes: np.ndarray,
+        kernel: Optional[str] = None,
     ) -> GpuSearchResult:
         """Stateful split-bucket GPU stage: screen, descend, account.
 
@@ -315,6 +363,7 @@ class ImplicitHBPlusTree:
         ``sample_times`` fix for ``depth == h``.
         """
         q = np.asarray(queries, dtype=self.spec.dtype)
+        kern = self._resolve_kernel(kernel)
         start = np.asarray(start_levels, dtype=np.int64)
         gpu_active = int(np.count_nonzero(start < self.gpu_depth))
         if not self.gpu_begin_bucket(gpu_active):
@@ -322,25 +371,41 @@ class ImplicitHBPlusTree:
                 leaf_indices=np.asarray(start_nodes, dtype=np.int64).copy(),
                 transactions=0,
             )
-        leaf, txns = self.gpu_descend_from(q, start, start_nodes)
+        leaf, txns = self.gpu_descend_from(q, start, start_nodes, kernel=kern)
         self.device.memory.counters.transactions_64 += txns
         self.device.memory.counters.bytes_moved += txns * 64
         return GpuSearchResult(leaf_indices=leaf, transactions=txns)
 
-    def modeled_transactions(self, queries: np.ndarray) -> int:
+    def modeled_transactions(
+        self, queries: np.ndarray, kernel: Optional[str] = None
+    ) -> int:
         """Transactions the GPU stage would charge for ``queries``.
 
         Pure measurement through the coalescing model — no launch, no
         device counters.  Used by the batch engine to price the
-        arrival-order baseline of a sorted bucket.
+        arrival-order baseline of a sorted bucket, and by the load
+        balancer to price each kernel when it profiles.
         """
         q = np.asarray(queries, dtype=self.spec.dtype)
-        _leaf, txns = self.gpu_descend(q)
+        _leaf, txns = self.gpu_descend(q, kernel=kernel)
         return txns
 
-    def gpu_search_bucket_literal(self, queries: np.ndarray) -> np.ndarray:
+    def gpu_search_bucket_literal(
+        self, queries: np.ndarray, kernel: Optional[str] = None
+    ) -> np.ndarray:
         """Stage 2 on the literal SIMT interpreter (slow; for tests)."""
         q = np.asarray(queries, dtype=self.spec.dtype)
+        if self._resolve_kernel(kernel) == FRONTIER:
+            leaf, _stats = launch_frontier_search(
+                self.device,
+                self.iseg_buffer,
+                self.level_offsets,
+                self.gpu_depth,
+                self.cpu_tree.fanout,
+                q,
+                level_sizes=self.level_sizes,
+            )
+            return leaf
         leaf, _stats = launch_implicit_search(
             self.device,
             self.iseg_buffer,

@@ -26,11 +26,16 @@ really executes split across the two engines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.hbtree_implicit import ImplicitHBPlusTree
+from repro.gpusim.kernels.frontier_search import (
+    KERNELS,
+    PER_QUERY,
+    validate_kernel,
+)
 from repro.platform.costmodel import BucketCosts, CpuCostModel, CpuQueryProfile
 
 
@@ -41,10 +46,15 @@ class DiscoveryResult:
     depth: int
     ratio: float
     samples: List[Tuple[int, float, float, float]]
-    """(D, R, Time_GPU, Time_CPU) for every getSample call."""
+    """(D, R, Time_GPU, Time_CPU) for every getSample call of the
+    winning kernel's Algorithm-1 run."""
     #: the *measured* bucket cost max(Time_GPU, Time_CPU) at (depth,
     #: ratio) — always one of the sampled points, never an extrapolation
     cost_ns: float = 0.0
+    #: the GPU kernel the committed split was priced with — discovery
+    #: runs Algorithm 1 once per measured kernel and commits the
+    #: cheapest (kernel, D, R) triple
+    kernel: str = PER_QUERY
 
     @property
     def sample_count(self) -> int:
@@ -70,10 +80,57 @@ class SplitCostModel:
     cpu_model = None
     bucket_size = 0
     cpu_level_ns: List[float]
-    gpu_level_ns: List[float]
     leaf_ns: float
     depth: int = 0
     ratio: float = 0.0
+    #: the GPU kernel the committed split is priced with (a third
+    #: discovery dimension next to D and R)
+    kernel: str = PER_QUERY
+    #: per-kernel measured level costs; ``None`` until a subclass
+    #: :meth:`reprofile` fills it (scripted balancers that assign
+    #: ``gpu_level_ns`` directly keep single-kernel behaviour)
+    gpu_level_ns_by_kernel: Optional[Dict[str, List[float]]] = None
+    #: restricts which kernels discovery may choose (``None`` = all
+    #: measured kernels); lets a deployment pin the per-query schedule
+    allowed_kernels: Optional[Tuple[str, ...]] = None
+
+    @property
+    def gpu_level_ns(self) -> List[float]:
+        """Per-level GPU costs of the *currently selected* kernel."""
+        by = self.gpu_level_ns_by_kernel
+        if by and self.kernel in by:
+            return by[self.kernel]
+        return self._gpu_level_ns
+
+    @gpu_level_ns.setter
+    def gpu_level_ns(self, value: List[float]) -> None:
+        self._gpu_level_ns = value
+
+    def gpu_costs_for(self, kernel: str) -> List[float]:
+        """Per-level GPU costs under ``kernel`` (measured, or the
+        single profiled cost list when no per-kernel profile exists)."""
+        by = self.gpu_level_ns_by_kernel
+        if by and kernel in by:
+            return by[kernel]
+        return self.gpu_level_ns
+
+    def candidate_kernels(self) -> Tuple[str, ...]:
+        """Kernels discovery can choose between — every kernel with a
+        measured cost profile (intersected with :attr:`allowed_kernels`
+        when restricted), in :data:`KERNELS` order (so ties go to the
+        per-query default deterministically)."""
+        by = self.gpu_level_ns_by_kernel
+        if by:
+            kernels = tuple(k for k in KERNELS if k in by)
+        else:
+            kernels = (self.kernel,)
+        if self.allowed_kernels is not None:
+            restricted = tuple(
+                k for k in kernels if k in self.allowed_kernels
+            )
+            if restricted:
+                return restricted
+        return kernels
 
     @property
     def height(self) -> int:
@@ -100,18 +157,22 @@ class SplitCostModel:
         return not (depth + 1 >= h and ratio >= 1.0)
 
     def sample_times(self, depth: int, ratio: float,
-                     bucket_size: Optional[int] = None
+                     bucket_size: Optional[int] = None,
+                     kernel: Optional[str] = None,
                      ) -> Tuple[float, float]:
-        """getSample(D, R): (Time_GPU, Time_CPU) for one bucket."""
+        """getSample(D, R[, kernel]): (Time_GPU, Time_CPU) for one bucket."""
         m = bucket_size or self.bucket_size
         h = self.height
         depth = min(depth, h)
+        gpu_level_ns = self.gpu_costs_for(
+            validate_kernel(kernel) if kernel is not None else self.kernel
+        )
         cpu_per_query = self.leaf_ns + sum(self.cpu_level_ns[:depth])
         if depth < h:
             cpu_per_query += ratio * self.cpu_level_ns[depth]
-        gpu_per_query = sum(self.gpu_level_ns[depth + 1:])
+        gpu_per_query = sum(gpu_level_ns[depth + 1:])
         if depth < h:
-            gpu_per_query += (1.0 - ratio) * self.gpu_level_ns[depth]
+            gpu_per_query += (1.0 - ratio) * gpu_level_ns[depth]
         threads = self.cpu_model.threads
         time_cpu = m * cpu_per_query / threads
         if not self.split_serves_gpu(depth, ratio):
@@ -124,44 +185,82 @@ class SplitCostModel:
         return time_gpu, time_cpu
 
     def balanced_cost_ns(self, depth: int, ratio: float,
-                         bucket_size: Optional[int] = None) -> float:
+                         bucket_size: Optional[int] = None,
+                         kernel: Optional[str] = None) -> float:
         """Equation 4: the bucket cost under a (D, R) split."""
-        time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+        time_gpu, time_cpu = self.sample_times(
+            depth, ratio, bucket_size, kernel=kernel
+        )
         return max(time_gpu, time_cpu)
 
     # ------------------------------------------------------------------
     # Algorithm 1
 
-    def discover(self, bucket_size: Optional[int] = None) -> DiscoveryResult:
-        """The paper's discovery algorithm, executed literally."""
+    def _discover_kernel(
+        self, kernel: str, bucket_size: Optional[int]
+    ) -> Tuple[List[Tuple[int, float, float, float]],
+               Tuple[int, float, float, float]]:
+        """One Algorithm-1 run priced with ``kernel``'s level costs.
+
+        Returns ``(samples, best_sample)`` where ``best_sample`` is the
+        cheapest *sampled* point — the binary search's final adjustment
+        of R is never evaluated by ``sample_times``, so the loop
+        variable may name a (D, R) whose cost was never measured.
+        """
         h = self.height
         samples: List[Tuple[int, float, float, float]] = []
         depth, ratio = 0, 1.0
-        time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+        time_gpu, time_cpu = self.sample_times(
+            depth, ratio, bucket_size, kernel=kernel
+        )
         samples.append((depth, ratio, time_gpu, time_cpu))
         while time_gpu > time_cpu and depth < h:
             depth += 1
-            time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+            time_gpu, time_cpu = self.sample_times(
+                depth, ratio, bucket_size, kernel=kernel
+            )
             samples.append((depth, ratio, time_gpu, time_cpu))
         ratio = 0.5
         for step in range(2, 6):
-            time_gpu, time_cpu = self.sample_times(depth, ratio, bucket_size)
+            time_gpu, time_cpu = self.sample_times(
+                depth, ratio, bucket_size, kernel=kernel
+            )
             samples.append((depth, ratio, time_gpu, time_cpu))
             if time_gpu > time_cpu:
                 ratio += 1.0 / (2 ** step)
             else:
                 ratio -= 1.0 / (2 ** step)
-        # commit the best *sampled* point: the binary search's final
-        # adjustment of R is never evaluated by sample_times, so the
-        # loop variable may name a (D, R) whose cost was never measured
-        depth, ratio, time_gpu, time_cpu = min(
-            samples, key=lambda s: max(s[2], s[3])
-        )
+        best = min(samples, key=lambda s: max(s[2], s[3]))
+        return samples, best
+
+    def discover(self, bucket_size: Optional[int] = None) -> DiscoveryResult:
+        """The paper's discovery algorithm, executed literally.
+
+        Runs one Algorithm-1 pass per measured kernel (per-query and,
+        once profiled, frontier) and commits the cheapest
+        (kernel, D, R) triple; ties go to the earlier kernel in
+        :data:`KERNELS` order, i.e. the per-query default.
+        """
+        best_kernel: Optional[str] = None
+        best_samples: List[Tuple[int, float, float, float]] = []
+        best_sample: Tuple[int, float, float, float] = (0, 0.0, 0.0, 0.0)
+        best_cost = float("inf")
+        for kern in self.candidate_kernels():
+            samples, sample = self._discover_kernel(kern, bucket_size)
+            cost = max(sample[2], sample[3])
+            if cost < best_cost:
+                best_kernel = kern
+                best_samples = samples
+                best_sample = sample
+                best_cost = cost
+        assert best_kernel is not None
+        depth, ratio, time_gpu, time_cpu = best_sample
         self.depth = depth
         self.ratio = ratio
+        self.kernel = best_kernel
         return DiscoveryResult(
-            depth=depth, ratio=ratio, samples=samples,
-            cost_ns=max(time_gpu, time_cpu),
+            depth=depth, ratio=ratio, samples=best_samples,
+            cost_ns=max(time_gpu, time_cpu), kernel=best_kernel,
         )
 
 
@@ -175,12 +274,18 @@ class LoadBalancer(SplitCostModel):
         cpu_model: Optional[CpuCostModel] = None,
         sort_batches: bool = False,
         reprofile_on_init: bool = True,
+        allowed_kernels: Optional[Tuple[str, ...]] = None,
     ):
         self.tree = tree
         self.machine = tree.machine
         self.bucket_size = bucket_size or self.machine.bucket_size
         self.cpu_model = cpu_model or CpuCostModel(self.machine.cpu)
         self.sort_batches = sort_batches
+        if allowed_kernels is not None:
+            allowed_kernels = tuple(
+                validate_kernel(k) for k in allowed_kernels
+            )
+        self.allowed_kernels = allowed_kernels
         if reprofile_on_init:
             self.reprofile()
         self.depth = 0
@@ -283,13 +388,17 @@ class LoadBalancer(SplitCostModel):
         self.leaf_ns = model.query_ns(leaf_profile)
 
         # GPU cost per level: transactions measured by the kernel twin
-        # (pure model — no launch counted, no device-counter mutation)
+        # (pure model — no launch counted, no device-counter mutation),
+        # once per kernel so discovery can price per_query vs frontier
         gpu = self.machine.gpu
-        txns = self.tree.modeled_transactions(sample)
-        txn_per_query_level = txns / max(1, len(sample)) / max(1, h)
-        self.gpu_level_ns = [
-            txn_per_query_level * 64.0 / gpu.effective_bandwidth_gbs
-        ] * h
+        self.gpu_level_ns_by_kernel = {}
+        for kern in KERNELS:
+            txns = self.tree.modeled_transactions(sample, kernel=kern)
+            txn_per_query_level = txns / max(1, len(sample)) / max(1, h)
+            self.gpu_level_ns_by_kernel[kern] = [
+                txn_per_query_level * 64.0 / gpu.effective_bandwidth_gbs
+            ] * h
+        self.gpu_level_ns = self.gpu_level_ns_by_kernel[PER_QUERY]
 
     # ------------------------------------------------------------------
     # functional balanced lookup

@@ -61,6 +61,7 @@ import numpy as np
 from repro.core.batching import BucketPlan, plan_bucket
 from repro.core.buckets import DEFAULT_BUCKET_SIZE, iter_buckets
 from repro.core.pipeline import BucketStrategy
+from repro.gpusim.kernels.frontier_search import validate_kernel
 from repro.obs import NULL_OBS
 
 #: granularity of stop-aware queue waits (seconds); every blocking
@@ -262,8 +263,12 @@ class OverlappedEngine:
         cpu_chunk_min: int = 2048,
         obs=None,
         balancer=None,
+        kernel: Optional[str] = None,
     ):
         self.tree = tree
+        #: explicit GPU kernel override; ``None`` defers to the
+        #: balancer's discovered kernel, then the tree default
+        self.kernel = validate_kernel(kernel) if kernel is not None else None
         #: optional (D, R) split source — an
         #: :class:`repro.core.adaptive.AdaptiveController` or
         #: :class:`~repro.core.adaptive.StaticSplit`.  Consulted and
@@ -371,26 +376,41 @@ class OverlappedEngine:
     # ------------------------------------------------------------------
     # (D, R) split plumbing
 
+    def _bucket_kernel(self) -> Optional[str]:
+        """The GPU kernel for the next bucket (None = tree default)."""
+        if self.kernel is not None:
+            return self.kernel
+        if self.balancer is not None:
+            return getattr(self.balancer, "kernel", None)
+        return None
+
     def _dispatch_split(self, plan: BucketPlan):
         """Read + feed the balancer once per bucket (dispatcher only).
 
-        Returns ``(levels, gpu_active)``: the per-query CPU descent
-        depths (None when unbalanced) and the query count the launch
-        screening charges — an all-CPU bucket screens zero GPU queries,
-        so it launches no kernel and consults no injector.
+        Returns ``(levels, gpu_active, kernel)``: the per-query CPU
+        descent depths (None when unbalanced), the query count the
+        launch screening charges — an all-CPU bucket screens zero GPU
+        queries, so it launches no kernel and consults no injector —
+        and the GPU kernel the split was priced with.  The kernel is
+        read *before* the balancer is fed: feeding back may close a
+        window and move the committed split, which must only affect the
+        next bucket.
         """
         if self.balancer is None:
-            return None, plan.n_unique
+            return None, plan.n_unique, self._bucket_kernel()
         from repro.core.adaptive import split_levels
 
         depth, ratio = self.balancer.split()
+        kernel = self._bucket_kernel()
         self.balancer.note_bucket(plan.queries)
         levels = split_levels(
             plan.n_unique, depth, ratio, self.tree.height
         )
-        return levels, int(np.count_nonzero(levels < self.tree.gpu_depth))
+        gpu_active = int(np.count_nonzero(levels < self.tree.gpu_depth))
+        return levels, gpu_active, kernel
 
-    def _stage_descend(self, plan: BucketPlan, launch: bool, levels):
+    def _stage_descend(self, plan: BucketPlan, launch: bool, levels,
+                       kernel: Optional[str] = None):
         """Pure inner-level stage for one bucket (worker-safe).
 
         Unbalanced buckets run the full GPU descent; split buckets walk
@@ -400,12 +420,14 @@ class OverlappedEngine:
         """
         if levels is None:
             if launch:
-                return self.tree.gpu_descend(plan.sorted_unique)
+                return self.tree.gpu_descend(
+                    plan.sorted_unique, kernel=kernel
+                )
             return np.zeros(plan.n_unique, dtype=np.int64), 0
         nodes = self.tree.cpu_descend_top(plan.sorted_unique, levels)
         if launch:
             return self.tree.gpu_descend_from(
-                plan.sorted_unique, levels, nodes
+                plan.sorted_unique, levels, nodes, kernel=kernel
             )
         return nodes, 0
 
@@ -427,7 +449,7 @@ class OverlappedEngine:
                         "bucket_start", index=index,
                         n_queries=plan.n_queries, n_unique=plan.n_unique,
                     )
-                    levels, gpu_active = self._dispatch_split(plan)
+                    levels, gpu_active, kernel = self._dispatch_split(plan)
                     launch = tree.gpu_begin_bucket(gpu_active)
             finally:
                 self.stats.dispatch_busy_ns += time.perf_counter_ns() - t_plan
@@ -435,7 +457,9 @@ class OverlappedEngine:
             try:
                 with obs.span("gpu_descend", bucket=index,
                               n_unique=plan.n_unique):
-                    codes, txns = self._stage_descend(plan, launch, levels)
+                    codes, txns = self._stage_descend(
+                        plan, launch, levels, kernel
+                    )
                     if self.measure_baseline:
                         self.stats.baseline_transactions += \
                             tree.modeled_transactions(plan.queries)
@@ -597,7 +621,7 @@ class _OverlapRun:
                     # bucket order, next to the injector for the same
                     # reason: the rebalance schedule must be a
                     # deterministic function of the bucket sequence
-                    levels, gpu_active = eng._dispatch_split(plan)
+                    levels, gpu_active, kernel = eng._dispatch_split(plan)
                     try:
                         # stateful screening, serially in bucket order:
                         # the injector draw stream is identical to the
@@ -612,7 +636,8 @@ class _OverlapRun:
                 self.dispatch_busy += time.perf_counter_ns() - t0
             if self.fault is not None:
                 break
-            item = (index, index * eng.bucket_size, plan, launch, levels)
+            item = (index, index * eng.bucket_size, plan, launch, levels,
+                    kernel)
             if not self._put(self.gpu_q, item, eng.stats.gpu_queue):
                 break
 
@@ -626,11 +651,13 @@ class _OverlapRun:
                 item = self._get(self.gpu_q)
                 if isinstance(item, _Sentinel):
                     break
-                index, start, plan, launch, levels = item
+                index, start, plan, launch, levels, kernel = item
                 t0 = time.perf_counter_ns()
                 with obs.span("gpu_descend", bucket=index,
                               n_unique=plan.n_unique):
-                    codes, txns = eng._stage_descend(plan, launch, levels)
+                    codes, txns = eng._stage_descend(
+                        plan, launch, levels, kernel
+                    )
                 self.gpu_txns[wid] += txns
                 if eng.measure_baseline:
                     self.gpu_baseline[wid] += self.tree.modeled_transactions(

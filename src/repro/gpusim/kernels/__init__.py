@@ -1,5 +1,15 @@
 """GPU search kernels: literal SIMT generators plus vectorised twins."""
 
+from repro.gpusim.kernels.frontier_search import (
+    FRONTIER,
+    KERNELS,
+    PER_QUERY,
+    frontier_search_kernel,
+    frontier_search_vectorized,
+    launch_frontier_search,
+    validate_kernel,
+    validate_level_geometry,
+)
 from repro.gpusim.kernels.implicit_search import (
     implicit_search_kernel,
     implicit_search_vectorized,
@@ -12,6 +22,14 @@ from repro.gpusim.kernels.regular_search import (
 )
 
 __all__ = [
+    "FRONTIER",
+    "KERNELS",
+    "PER_QUERY",
+    "frontier_search_kernel",
+    "frontier_search_vectorized",
+    "launch_frontier_search",
+    "validate_kernel",
+    "validate_level_geometry",
     "implicit_search_kernel",
     "implicit_search_vectorized",
     "launch_implicit_search",

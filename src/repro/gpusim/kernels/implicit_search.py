@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.gpusim.device import GpuDevice
 from repro.gpusim.kernels.coalesce import warp_distinct as _warp_distinct
+from repro.gpusim.kernels.frontier_search import validate_level_geometry
 from repro.gpusim.memory import DeviceBuffer
 
 
@@ -62,8 +63,13 @@ def launch_implicit_search(
 
     Returns ``(leaf_indices, stats)``.  Queries are padded to fill the
     last block (padding teams search for key 0, as a real launcher
-    padding its input buffer would).
+    padding its input buffer would).  Geometry is validated up front —
+    a mismatched ``level_offsets``/``depth``/``fanout`` raises
+    ``ValueError`` instead of silently misindexing the I-segment.
     """
+    validate_level_geometry(
+        level_offsets, None, depth, fanout, iseg.array.size
+    )
     teams_per_block = max(1, device.spec.warp_size // fanout) * 4
     n = len(queries)
     padded = teams_per_block * -(-n // teams_per_block)

@@ -143,9 +143,22 @@ def regular_search_vectorized(
     last_base: int,
     queries: np.ndarray,
     teams_per_warp: int = 4,
+    frontier_block: "int | None" = None,
 ) -> Tuple[np.ndarray, int]:
-    """Vectorised twin; returns ``(leaf_line_codes, transactions)``."""
+    """Vectorised twin; returns ``(leaf_line_codes, transactions)``.
+
+    ``frontier_block`` switches the transaction accounting to the
+    level-wise frontier model: every line kind is deduplicated across a
+    window of that many queries (the cooperative block — normally the
+    whole bucket) instead of one warp's teams, the regular-layout
+    analogue of
+    :func:`repro.gpusim.kernels.frontier_search.frontier_search_vectorized`.
+    Codes are identical either way — only the coalescing window moves.
+    """
     q = np.asarray(queries)
+    dedup = int(frontier_block) if frontier_block else teams_per_warp
+    if dedup < 1:
+        raise ValueError(f"dedup window must be >= 1, got {dedup}")
     nodes_view = iseg.reshape(-1, stride)
     keys_view = nodes_view[:, kpl: kpl + fanout]
     refs_view = nodes_view[:, kpl + fanout:]
@@ -156,14 +169,14 @@ def regular_search_vectorized(
         keys = keys_view[node + offset]
         slot = np.sum(keys < q[:, None], axis=1).astype(np.int64)
         slot = np.minimum(slot, fanout - 1)
-        # index line: one 64-byte transaction per distinct node per warp
-        transactions += _warp_distinct(node, teams_per_warp)
+        # index line: one 64-byte transaction per distinct node per window
+        transactions += _warp_distinct(node, dedup)
         # key line: one per distinct (node, group)
         group = slot // kpl
-        transactions += _warp_distinct(node * kpl + group, teams_per_warp)
+        transactions += _warp_distinct(node * kpl + group, dedup)
         if level == 0:
             return node * fanout + slot, transactions
         # reference: one (32-byte) transaction per distinct (node, slot)
-        transactions += _warp_distinct(node * fanout + slot, teams_per_warp)
+        transactions += _warp_distinct(node * fanout + slot, dedup)
         node = refs_view[node + offset, slot].astype(np.int64)
     raise AssertionError("unreachable: height >= 1 always returns")

@@ -364,12 +364,15 @@ class TestOverlapParity:
 
 
 class TestResilienceHandshake:
-    def _make(self, data, rate, machine, seed=9, config=None):
+    def _make(self, data, rate, machine, seed=9, config=None,
+              allowed_kernels=None):
         keys, values = data
         tree = HBPlusTree(keys, values, machine=machine)
         # the machine's full bucket size: on M1 it amortizes kernel
         # init, so the mode balancer keeps the GPU loaded when healthy
-        adaptive = AdaptiveController.for_tree(tree, config=EAGER)
+        adaptive = AdaptiveController.for_tree(
+            tree, config=EAGER, allowed_kernels=allowed_kernels
+        )
         injector = FaultInjector(FaultPlan.uniform(rate, seed=seed))
         r = ResilientHBPlusTree(tree, injector=injector, config=config,
                                 adaptive=adaptive)
@@ -421,9 +424,13 @@ class TestResilienceHandshake:
         assert not adaptive.cpu_only
 
     def test_adaptive_cpu_only_trips_breaker_economically(self, data, m2):
-        """On M2 the mode balancer picks cpu-only at construction; the
-        wrapper must degrade immediately without burning GPU retries."""
-        r, adaptive = self._make(data, 0.0, m2)
+        """On M2 the per-query kernel loses every level to the CPU, so
+        with the kernel space pinned to it the mode balancer picks
+        cpu-only at construction; the wrapper must degrade immediately
+        without burning GPU retries."""
+        r, adaptive = self._make(
+            data, 0.0, m2, allowed_kernels=("per_query",)
+        )
         assert adaptive.cpu_only
         assert r.degraded
         assert r.stats.economic_degradations >= 1
@@ -431,3 +438,17 @@ class TestResilienceHandshake:
         out = r.lookup_batch(keys[:512])
         np.testing.assert_array_equal(out, values[:512])
         assert r.stats.served_cpu > 0
+
+    def test_frontier_kernel_keeps_m2_gpu_viable(self, data, m2):
+        """The level-wise frontier kernel cuts M2's modeled GPU cost
+        enough that discovery keeps the hybrid mode — the breaker must
+        NOT trip economically, and the committed kernel must reach the
+        tree's dispatch default."""
+        r, adaptive = self._make(data, 0.0, m2)
+        assert adaptive.kernel == "frontier"
+        assert not adaptive.cpu_only
+        assert not r.degraded
+        assert r.tree.kernel == "frontier"
+        keys, values = data
+        out = r.lookup_batch(keys[:512])
+        np.testing.assert_array_equal(out, values[:512])

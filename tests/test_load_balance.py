@@ -208,9 +208,9 @@ class TestReprofileSampling:
         captured = {}
         original = ImplicitHBPlusTree.modeled_transactions
 
-        def capture(self, sample):
+        def capture(self, sample, kernel=None):
             captured["sample"] = np.asarray(sample)
-            return original(self, sample)
+            return original(self, sample, kernel=kernel)
 
         monkeypatch.setattr(
             ImplicitHBPlusTree, "modeled_transactions", capture

@@ -232,11 +232,11 @@ class TestShutdown:
         calls = []
         real = tree.gpu_descend
 
-        def boom(q):
+        def boom(q, kernel=None):
             calls.append(1)
             if len(calls) == 2:
                 raise RuntimeError("descent blew up")
-            return real(q)
+            return real(q, kernel=kernel)
 
         monkeypatch.setattr(tree, "gpu_descend", boom)
         self._run_expecting(
