@@ -1,0 +1,60 @@
+"""CLI for the gapped-leaf optimistic mixed-engine benchmark gate.
+
+Runs :func:`repro.bench.mixed.run_mixed` — the appendix-B.3 baseline
+engine (async and sync mirror maintenance) against the
+:class:`~repro.core.OptimisticMixedEngine` on a gapped tree, at the
+paper's 95/5 and 50/50 read/write ratios plus one fault-injected
+drill — writes the report, and exits non-zero when any gate in
+:func:`repro.bench.mixed.gate_failures` fails::
+
+    PYTHONPATH=src python benchmarks/bench_mixed_engine.py \
+        [--smoke] [--out BENCH_pr8.json]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.mixed import gate_failures, run_mixed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small dataset for CI (sub-minute instead of minutes)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_pr8.json",
+        help="output JSON path (default: BENCH_pr8.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_mixed(smoke=args.smoke)
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({report['mode']}, machine={report['machine']}, "
+          f"{report['keys']} keys, {report['operations']} ops)")
+    for row in report["ratios"] + [report["fault_run"]]:
+        opt = row["optimistic"]
+        print(
+            f"  {row['ratio']}: async "
+            f"{row['baseline_async']['throughput_ops']:.3e} / sync "
+            f"{row['baseline_sync']['throughput_ops']:.3e} -> optimistic "
+            f"{opt['throughput_ops']:.3e} ops/s "
+            f"(retries={opt['retries']}, dirty={opt['dirty_nodes']}, "
+            f"sync/rebuild bytes={row['sync_to_rebuild_bytes']:.3f}, "
+            f"in-place={row['in_place_fraction']:.2f}, "
+            f"identical={row['searches_bit_identical']}"
+            f"/{row['mirror_bit_identical']})"
+        )
+
+    failures = gate_failures(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

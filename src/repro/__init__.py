@@ -43,6 +43,7 @@ from repro.core.gpu_update import GpuAssistedUpdater
 from repro.core.hbtree import HBPlusTree
 from repro.core.hbtree_implicit import ImplicitHBPlusTree
 from repro.core.load_balance import LoadBalancer
+from repro.core.mixed import ConcurrentQueryEngine, OptimisticMixedEngine
 from repro.core.overlap import OverlappedEngine, OverlapStats
 from repro.core.pipeline import BucketStrategy, PipelineSimulator
 from repro.core.resilience import (
@@ -55,6 +56,7 @@ from repro.core.update import AsyncBatchUpdater, SyncUpdater
 from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
 from repro.cpu.btree_regular import RegularCpuBPlusTree
+from repro.cpu.gapped import GappedCpuBPlusTree, GapStats
 from repro.cpu.css_tree import CssTree
 from repro.cpu.fast_tree import FastTree
 from repro.cpu.node_search import NodeSearchAlgorithm
@@ -119,6 +121,10 @@ __all__ = [
     "PipelineSimulator",
     "AsyncBatchUpdater",
     "SyncUpdater",
+    "ConcurrentQueryEngine",
+    "OptimisticMixedEngine",
+    "GappedCpuBPlusTree",
+    "GapStats",
     "ImplicitCpuBPlusTree",
     "RegularCpuBPlusTree",
     "FastTree",

@@ -15,6 +15,7 @@ faithfully instead of with closed-form formulas:
 from repro.concurrency.locks import LockStats, LockTable
 from repro.concurrency.scheduler import (
     Operation,
+    OpSpan,
     ScheduleResult,
     ThreadScheduler,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "LockTable",
     "LockStats",
     "Operation",
+    "OpSpan",
     "ThreadScheduler",
     "ScheduleResult",
 ]

@@ -37,6 +37,22 @@ class Operation:
             raise ValueError("operation durations cannot be negative")
 
 
+@dataclass(frozen=True)
+class OpSpan:
+    """Placement of one operation on the simulated timeline.
+
+    ``granted_ns`` is when the op's lock was granted (equal to
+    ``start_ns + work_ns`` for lock-free operations) — so
+    ``[granted_ns, end_ns)`` is the locked interval and
+    ``[start_ns, end_ns)`` the whole op.
+    """
+
+    thread: int
+    start_ns: float
+    granted_ns: float
+    end_ns: float
+
+
 @dataclass
 class ScheduleResult:
     """Outcome of one scheduler run."""
@@ -47,6 +63,9 @@ class ScheduleResult:
     lock_stats: LockStats
     operations: int
     per_tag_count: dict = field(default_factory=dict)
+    #: one :class:`OpSpan` per operation, in submission order — only
+    #: recorded when the run asked for it (``record_spans=True``)
+    spans: Optional[List[OpSpan]] = None
 
     @property
     def threads(self) -> int:
@@ -84,27 +103,38 @@ class ThreadScheduler:
             raise ValueError("need at least one thread")
         self.threads = threads
 
-    def run(self, operations: Sequence[Operation]) -> ScheduleResult:
-        """Deal operations round-robin-by-availability and simulate."""
+    def run(
+        self, operations: Sequence[Operation], record_spans: bool = False
+    ) -> ScheduleResult:
+        """Deal operations round-robin-by-availability and simulate.
+
+        ``record_spans=True`` additionally records each operation's
+        timeline placement — the optimistic mixed engine replays those
+        spans to find search/writer overlaps on the same leaf.
+        """
         locks = LockTable()
         clock = [0.0] * self.threads  # per-thread current time
         busy = [0.0] * self.threads
         wait = [0.0] * self.threads
         tags: dict = {}
+        spans: Optional[List[OpSpan]] = [] if record_spans else None
         for op in operations:
             tags[op.tag] = tags.get(op.tag, 0) + 1
             # the next free thread picks up the next operation — this is
             # what a work queue does
             t = min(range(self.threads), key=clock.__getitem__)
-            now = clock[t]
-            now += op.work_ns
+            start = clock[t]
+            now = start + op.work_ns
             busy[t] += op.work_ns
+            granted = now
             if op.lock is not None:
                 granted = locks.acquire(op.lock, now, op.locked_ns, holder=t)
                 wait[t] += granted - now
                 now = granted + op.locked_ns
                 busy[t] += op.locked_ns
             clock[t] = now
+            if spans is not None:
+                spans.append(OpSpan(t, start, granted, now))
         makespan = max(clock) if operations else 0.0
         # detach the lock stats: the result must stay immutable even if
         # the caller keeps (or reuses) a reference to the lock table
@@ -115,4 +145,5 @@ class ThreadScheduler:
             lock_stats=locks.stats.copy(),
             operations=len(operations),
             per_tag_count=tags,
+            spans=spans,
         )

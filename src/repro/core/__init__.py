@@ -39,6 +39,12 @@ from repro.core.resilience import (
     ResilienceStats,
     ResilientHBPlusTree,
 )
+from repro.core.mixed import (
+    ConcurrentQueryEngine,
+    MixedRunResult,
+    OptimisticMixedEngine,
+    OptimisticRunResult,
+)
 from repro.core.update import (
     AsyncBatchUpdater,
     ImplicitRebuildStats,
@@ -74,4 +80,8 @@ __all__ = [
     "SyncUpdater",
     "UpdateStats",
     "ImplicitRebuildStats",
+    "ConcurrentQueryEngine",
+    "MixedRunResult",
+    "OptimisticMixedEngine",
+    "OptimisticRunResult",
 ]

@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.cpu.btree_regular import RegularCpuBPlusTree
+from repro.cpu.gapped import GappedCpuBPlusTree
 from repro.cpu.node_search import NodeSearchAlgorithm
 from repro.gpusim.device import GpuDevice
 from repro.gpusim.kernels.frontier_search import (
@@ -103,6 +104,7 @@ class HBPlusTree:
         algorithm: NodeSearchAlgorithm = NodeSearchAlgorithm.HIERARCHICAL_SIMD,
         fill: float = 1.0,
         injector=None,
+        gapped: bool = False,
     ):
         if machine is None:
             raise ValueError("HBPlusTree requires a MachineConfig")
@@ -111,7 +113,13 @@ class HBPlusTree:
         self.mem = mem if mem is not None else MemorySystem.from_spec(machine.cpu)
         self.device = GpuDevice(machine.gpu)
         self.link = PcieLink(machine.pcie)
-        self.cpu_tree = RegularCpuBPlusTree(
+        # ``gapped=True`` swaps in the BS-tree-style gapped-leaf CPU
+        # tree: same inner-node layout (the mirror packs only inner
+        # pools, so the device image is bit-identical for lookups),
+        # but most inserts become in-place gap writes that dirty
+        # exactly one last-level node
+        tree_cls = GappedCpuBPlusTree if gapped else RegularCpuBPlusTree
+        self.cpu_tree = tree_cls(
             keys,
             values,
             key_bits=key_bits,

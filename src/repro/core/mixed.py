@@ -12,24 +12,41 @@ functionally (every search resolved, every update applied, GPU mirror
 left consistent) and temporally, via the discrete-event thread
 scheduler of :mod:`repro.concurrency` — lock contention on hot leaves
 emerges from the actual access pattern instead of a formula.
+
+:class:`OptimisticMixedEngine` is the post-paper answer to the same
+workload (ROADMAP item 2): gapped leaves (BS-tree) make most inserts
+in-place writes with a short locked span, and FB+-tree-style optimistic
+reads drop the ``MUTEX_OVERHEAD`` tax — readers snapshot per-node
+version stamps, descend latch-free, and retry from the deepest
+validated node when a writer raced them.  Retries are counted from the
+*actual* schedule overlap of searches and writers on the same leaf,
+and the mirror is maintained by ranged dirty-node transfers (the exact
+dirty set falls out of the version-stamp diff) instead of a full
+rebuild.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.concurrency import Operation, ScheduleResult, ThreadScheduler
-from repro.core.hbtree import HBPlusTree
+from repro.core.hbtree import HBPlusTree, MirrorSyncStats
 from repro.core.update import SYNC_NODE_OVERHEAD_NS, _measure_update_cost_ns
+from repro.faults import FaultError
 from repro.platform.costmodel import CpuCostModel
 from repro.workloads.queries import QueryMix
 
 #: slowdown of the update-capable query threads on the pure-search path
 #: (mutex checks, synchronization points — appendix B.3's observation)
 MUTEX_OVERHEAD = 1.25
+
+#: how often the optimistic engine retries a faulted mirror sync before
+#: giving up and propagating the fault (each retry re-consults the
+#: deterministic injector, so a finite-rate plan always drains)
+SYNC_FAULT_RETRIES = 8
 
 
 @dataclass
@@ -47,7 +64,48 @@ class MixedRunResult:
 
     @property
     def throughput_ops(self) -> float:
+        if self.total_ns <= 0:
+            # empty/zero-cost mixes report 0.0, not a ZeroDivisionError
+            # nor inf — the PR-4 zero-time convention shared by every
+            # throughput metric, so downstream aggregation never breaks
+            return 0.0
         return self.schedule.operations * 1e9 / self.total_ns
+
+
+@dataclass
+class OptimisticRunResult(MixedRunResult):
+    """:class:`MixedRunResult` plus the optimistic engine's accounting."""
+
+    #: optimistic-read retries (search/writer overlaps on one leaf)
+    retries: int = 0
+    #: modeled time of all retries (partial re-descents)
+    retry_ns: float = 0.0
+    #: inner nodes found dirty by the version-stamp diff
+    dirty_nodes: int = 0
+    #: ranged PCIe transfers that carried them
+    sync_transfers: int = 0
+    #: bytes pushed to the device by the mirror maintenance
+    sync_bytes: int = 0
+    #: True when a structural change (or a faulted sync) forced the
+    #: full mirror rebuild instead of ranged dirty-node transfers
+    mirror_rebuilt: bool = False
+    #: injected faults absorbed by the sync retry ladder
+    sync_faults: int = 0
+    #: write-path behaviour of the batch (gapped trees only)
+    gap_writes: int = 0
+    shift_writes: int = 0
+    splits: int = 0
+    per_op_write_ns: List[float] = field(default_factory=list)
+
+    @property
+    def total_ns(self) -> float:
+        # retries ride the same threads; the additive term spreads the
+        # total retry work across them
+        threads = max(1, self.schedule.threads)
+        return max(
+            self.schedule.makespan_ns + self.retry_ns / threads,
+            self.sync_transfer_ns,
+        )
 
 
 class ConcurrentQueryEngine:
@@ -66,7 +124,13 @@ class ConcurrentQueryEngine:
         if len(all_keys) == 0:
             return 100.0, 500.0
         rng = np.random.default_rng(67)
-        stored = rng.choice(all_keys, size=min(2048, len(all_keys)))
+        # the sample never exceeds the population, so draw without
+        # replacement — with replacement the duplicates skew the cache
+        # profile toward re-touched lines (same fix as the adaptive
+        # controller's reprofile path)
+        stored = rng.choice(
+            all_keys, size=min(2048, len(all_keys)), replace=False
+        )
         from repro.bench.profiling import profile_regular
         profile = profile_regular(tree.cpu_tree, stored)
         model = CpuCostModel(tree.machine.cpu)
@@ -81,21 +145,50 @@ class ConcurrentQueryEngine:
         tree = self.tree
         cpu_tree = tree.cpu_tree
 
+        # one batch descent replaces the former per-op `_descend` calls;
+        # the node ids are exact while no structural change intervenes,
+        # and a structural change forces the full mirror rebuild below
+        # anyway, so a stale id can only cost a redundant modeled lock
+        upd_nodes = (
+            cpu_tree.descend_batch(mix.update_keys)[0]
+            if len(mix.update_keys)
+            else np.empty(0, dtype=np.int64)
+        )
+        del_nodes = (
+            cpu_tree.descend_batch(mix.delete_keys)[0]
+            if len(mix.delete_keys)
+            else np.empty(0, dtype=np.int64)
+        )
+
         # functional execution + operation list for the scheduler
         operations: List[Operation] = []
         search_iter = iter(mix.search_keys)
         update_iter = iter(zip(mix.update_keys.tolist(),
-                               mix.update_values.tolist()))
+                               mix.update_values.tolist(),
+                               upd_nodes.tolist()))
+        delete_iter = iter(zip(mix.delete_keys.tolist(), del_nodes.tolist()))
+        is_delete = (
+            mix.is_delete
+            if mix.is_delete is not None
+            else np.zeros(len(mix.is_update), dtype=bool)
+        )
         searches: List[int] = []
         synced_nodes = 0
         # the update cost splits ~55% descent (lock-free) / 45% locked
         upd_work = self._update_ns * 0.55
         upd_locked = self._update_ns * 0.45
-        for is_update in mix.is_update.tolist():
-            if is_update:
-                key, value = next(update_iter)
-                node, _line, _path = cpu_tree._descend(int(key),
-                                                       instrument=False)
+        for is_update, is_del in zip(mix.is_update.tolist(),
+                                     is_delete.tolist()):
+            if is_del:
+                key, node = next(delete_iter)
+                cpu_tree.delete(int(key))
+                operations.append(Operation(
+                    work_ns=upd_work, lock=("leaf", int(node)),
+                    locked_ns=upd_locked, tag="delete",
+                ))
+                synced_nodes += 1
+            elif is_update:
+                key, value, node = next(update_iter)
                 cpu_tree.insert(int(key), int(value))
                 operations.append(Operation(
                     work_ns=upd_work, lock=("leaf", int(node)),
@@ -134,3 +227,334 @@ class ConcurrentQueryEngine:
             sync_transfer_ns=sync_ns,
             method=method,
         )
+
+
+class OptimisticMixedEngine:
+    """Gapped-leaf, latch-free mixed read/write engine.
+
+    Works on any :class:`HBPlusTree`, but the wins come from
+    ``HBPlusTree(..., gapped=True)``:
+
+    * **searches** run latch-free at the plain lookup cost (no
+      ``MUTEX_OVERHEAD``); a search that overlapped a writer's locked
+      span on its target leaf pays a *retry* — a partial re-descent
+      from the deepest node whose version stamp still validates, i.e.
+      one inner-path re-read plus the leaf line out of the ``3h + 1``
+      lines a full descent touches;
+    * **writers** keep the per-leaf lock but hold it only for the
+      actual write: one pair for an in-place gap write, the shifted
+      run for a short shift, a leaf rewrite for a split — measured
+      per-op from the tree's :class:`~repro.cpu.gapped.GapStats`
+      deltas, not assumed;
+    * the **mirror** is maintained from the version-stamp diff of the
+      inner pools: the exact dirty node set flows through
+      :meth:`HBPlusTree.sync_nodes` ranged transfers; only a
+      structural change (split/merge — new node identities) or a
+      faulted transfer falls back to the full rebuild, and injected
+      :class:`~repro.faults.FaultError` are absorbed by a bounded
+      retry ladder.
+    """
+
+    def __init__(self, tree: HBPlusTree, threads: Optional[int] = None):
+        self.tree = tree
+        self.threads = threads if threads is not None else tree.machine.cpu.threads
+        self._search_ns, self._descend_ns = self._measure_costs()
+
+    # ------------------------------------------------------------------
+    # cost measurement
+
+    def _measure_costs(self) -> Tuple[float, float]:
+        tree = self.tree
+        all_keys = tree.cpu_tree.stored_keys()
+        if len(all_keys) == 0:
+            return 80.0, 80.0
+        rng = np.random.default_rng(67)
+        stored = rng.choice(
+            all_keys, size=min(2048, len(all_keys)), replace=False
+        )
+        from repro.bench.profiling import profile_regular
+        profile = profile_regular(tree.cpu_tree, stored)
+        model = CpuCostModel(tree.machine.cpu)
+        # latch-free read path: plain lookup cost, no mutex tax.  A
+        # writer's unlocked phase is the same descent.
+        search_ns = model.query_ns(profile)
+        return search_ns, search_ns
+
+    def _write_cost_ns(self, stats_delta: Tuple[int, int, int, int]) -> float:
+        """Locked-phase cost of one write from its GapStats delta."""
+        gap_w, shifted_pairs, splits, rewrites = stats_delta
+        spec = self.tree.spec
+        bw = self.tree.machine.cpu.mem_bandwidth_gbs
+        pair_bytes = 2 * spec.size_bytes
+        cap = self.tree.cpu_tree.leaves.capacity_pairs
+        ns = spec.cache_line / bw  # routing-key / version maintenance
+        ns += gap_w * pair_bytes / bw
+        ns += shifted_pairs * pair_bytes / bw
+        # a split rewrites both halves; a batch rewrite spreads one leaf
+        ns += splits * cap * pair_bytes / bw
+        ns += rewrites * cap * pair_bytes / bw
+        return ns
+
+    def _compact_write_ns(self) -> float:
+        """Fallback locked cost on a non-gapped tree: half-leaf shift."""
+        spec = self.tree.spec
+        cap = self.tree.cpu_tree.leaves.capacity_pairs
+        return (
+            cap / 2 * 2 * spec.size_bytes
+            / self.tree.machine.cpu.mem_bandwidth_gbs
+        )
+
+    # ------------------------------------------------------------------
+    # mirror maintenance
+
+    def _rebuild_with_retries(self) -> Tuple[float, int]:
+        """Full mirror rebuild, absorbing injected faults; returns
+        ``(time_ns, faults_absorbed)``."""
+        faults = 0
+        last: Optional[FaultError] = None
+        for _attempt in range(SYNC_FAULT_RETRIES):
+            try:
+                return self.tree.mirror_i_segment(), faults
+            except FaultError as exc:
+                faults += 1
+                last = exc
+        # the ladder is exhausted (a rate-1.0 plan, or genuinely dead
+        # hardware): propagate the typed fault so callers — e.g. a
+        # ResilientHBPlusTree wrapper — can degrade on it
+        assert last is not None
+        raise last
+
+    def _sync_dirty(
+        self, dirty: List[Tuple[int, int]]
+    ) -> Tuple[MirrorSyncStats, int]:
+        """Ranged dirty-node sync with the fault retry ladder."""
+        try:
+            return self.tree.sync_nodes(dirty), 0
+        except FaultError:
+            # the ranged push aborted mid-flight; the mirror is stale
+            # for an unknown prefix — repair with the full rebuild
+            t, faults = self._rebuild_with_retries()
+            return (
+                MirrorSyncStats(
+                    nodes=len(dirty), transfers=1, time_ns=t, rebuilt=True
+                ),
+                faults + 1,
+            )
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def run(self, mix: QueryMix) -> OptimisticRunResult:
+        tree = self.tree
+        cpu_tree = tree.cpu_tree
+        gap_stats = getattr(cpu_tree, "gap_stats", None)
+
+        # --- pre-run snapshots -----------------------------------------
+        upper, last = cpu_tree.upper, cpu_tree.last
+        u_count0, l_count0 = upper.count, last.count
+        shape0 = (
+            u_count0, l_count0, len(upper._free), len(last._free),
+            cpu_tree.height,
+        )
+        uv0 = upper.version[:u_count0].copy()
+        lv0 = last.version[:l_count0].copy()
+
+        # one batch descent per op class (no scalar descent loops); the
+        # ids are exact unless a split intervenes, and a split forces
+        # the full-rebuild path where exactness is irrelevant
+        search_nodes = (
+            cpu_tree.descend_batch(mix.search_keys)[0]
+            if len(mix.search_keys)
+            else np.empty(0, dtype=np.int64)
+        )
+        upd_nodes = (
+            cpu_tree.descend_batch(mix.update_keys)[0]
+            if len(mix.update_keys)
+            else np.empty(0, dtype=np.int64)
+        )
+        del_nodes = (
+            cpu_tree.descend_batch(mix.delete_keys)[0]
+            if len(mix.delete_keys)
+            else np.empty(0, dtype=np.int64)
+        )
+
+        # --- functional execution + schedule construction --------------
+        operations: List[Operation] = []
+        op_is_search: List[bool] = []
+        op_leaf: List[int] = []
+        per_op_write_ns: List[float] = []
+        searches: List[int] = []
+        search_iter = iter(zip(mix.search_keys.tolist(),
+                               search_nodes.tolist()))
+        update_iter = iter(zip(mix.update_keys.tolist(),
+                               mix.update_values.tolist(),
+                               upd_nodes.tolist()))
+        delete_iter = iter(zip(mix.delete_keys.tolist(), del_nodes.tolist()))
+        is_delete = (
+            mix.is_delete
+            if mix.is_delete is not None
+            else np.zeros(len(mix.is_update), dtype=bool)
+        )
+
+        def snap() -> Tuple[int, int, int, int]:
+            if gap_stats is None:
+                return (0, 0, 0, 0)
+            return (
+                gap_stats.gap_writes,
+                gap_stats.shifted_pairs,
+                gap_stats.splits,
+                gap_stats.leaf_rewrites,
+            )
+
+        for is_update, is_del in zip(mix.is_update.tolist(),
+                                     is_delete.tolist()):
+            if is_del or is_update:
+                before = snap()
+                if is_del:
+                    key, node = next(delete_iter)
+                    cpu_tree.delete(int(key))
+                else:
+                    key, value, node = next(update_iter)
+                    cpu_tree.insert(int(key), int(value))
+                if gap_stats is None:
+                    write_ns = self._compact_write_ns()
+                else:
+                    after = snap()
+                    write_ns = self._write_cost_ns(
+                        tuple(a - b for a, b in zip(after, before))
+                    )
+                per_op_write_ns.append(write_ns)
+                operations.append(Operation(
+                    work_ns=self._descend_ns,
+                    lock=("leaf", int(node)),
+                    locked_ns=write_ns,
+                    tag="delete" if is_del else "update",
+                ))
+                op_is_search.append(False)
+                op_leaf.append(int(node))
+            else:
+                key, node = next(search_iter)
+                searches.append(int(key))
+                operations.append(Operation(
+                    work_ns=self._search_ns, tag="search",
+                ))
+                op_is_search.append(True)
+                op_leaf.append(int(node))
+        schedule = ThreadScheduler(self.threads).run(
+            operations, record_spans=True
+        )
+
+        # --- optimistic-read retries from the actual conflict pattern --
+        retries = self._count_retries(schedule, op_is_search, op_leaf)
+        # a retry re-validates from the deepest intact node: in the
+        # common one-leaf-write case that is a re-read of the inner
+        # path's last node plus the leaf line — 4 of the ~3h+1 lines a
+        # full descent touches
+        height = cpu_tree.height
+        retry_unit_ns = self._search_ns * 4.0 / (3.0 * height + 1.0)
+        retry_ns = retries * retry_unit_ns
+
+        # --- mirror maintenance: version diff -> ranged transfers ------
+        bytes0 = tree.link.stats.bytes_to_device
+        shape1 = (
+            upper.count, last.count, len(upper._free), len(last._free),
+            cpu_tree.height,
+        )
+        sync_faults = 0
+        if shape1 != shape0:
+            # structural change: node identities moved; rebuild once
+            t, sync_faults = self._rebuild_with_retries()
+            sync_stats = MirrorSyncStats(
+                nodes=l_count0, transfers=1, time_ns=t, rebuilt=True
+            )
+            modeled_sync_ns = t
+        else:
+            dirty: List[Tuple[int, int]] = [
+                (1, int(n))
+                for n in np.flatnonzero(upper.version[:u_count0] != uv0)
+            ]
+            dirty += [
+                (0, int(n))
+                for n in np.flatnonzero(last.version[:l_count0] != lv0)
+            ]
+            if dirty:
+                sync_stats, sync_faults = self._sync_dirty(dirty)
+            else:
+                sync_stats = MirrorSyncStats(nodes=0, transfers=0,
+                                             time_ns=0.0)
+            if sync_stats.rebuilt:
+                modeled_sync_ns = sync_stats.time_ns
+            else:
+                # the ranged pushes ride one open copy stream concurrent
+                # with the query threads (the SyncUpdater convention):
+                # bandwidth per node, bookkeeping per push, one T_init —
+                # not a full round-trip latency per transfer
+                node_bytes = tree.node_stride * 8
+                modeled_sync_ns = (
+                    sync_stats.nodes * node_bytes
+                    / tree.machine.pcie.bandwidth_gbs
+                    + sync_stats.transfers * SYNC_NODE_OVERHEAD_NS
+                    + (tree.machine.pcie.t_init_ns if sync_stats.nodes
+                       else 0.0)
+                )
+        sync_bytes = tree.link.stats.bytes_to_device - bytes0
+
+        results = (
+            cpu_tree.lookup_batch(np.asarray(searches, dtype=tree.spec.dtype))
+            if searches
+            else np.empty(0, dtype=tree.spec.dtype)
+        )
+        gs = gap_stats
+        return OptimisticRunResult(
+            search_results=results,
+            schedule=schedule,
+            sync_transfer_ns=modeled_sync_ns,
+            method="optimistic",
+            retries=retries,
+            retry_ns=retry_ns,
+            dirty_nodes=sync_stats.nodes,
+            sync_transfers=sync_stats.transfers,
+            sync_bytes=int(sync_bytes),
+            mirror_rebuilt=sync_stats.rebuilt,
+            sync_faults=sync_faults,
+            gap_writes=gs.gap_writes if gs else 0,
+            shift_writes=gs.shift_writes if gs else 0,
+            splits=gs.splits if gs else 0,
+            per_op_write_ns=per_op_write_ns,
+        )
+
+    @staticmethod
+    def _count_retries(
+        schedule: ScheduleResult,
+        op_is_search: List[bool],
+        op_leaf: List[int],
+    ) -> int:
+        """Search/writer overlaps on the same leaf, from the timeline.
+
+        A search retries once per writer whose *locked* interval
+        overlapped the search's span on the search's target leaf —
+        each such writer bumped the leaf's version while the reader
+        was between its snapshot and its validation.
+        """
+        spans = schedule.spans
+        if spans is None or not spans:
+            return 0
+        is_search = np.asarray(op_is_search, dtype=bool)
+        leaf = np.asarray(op_leaf, dtype=np.int64)
+        start = np.asarray([s.start_ns for s in spans])
+        granted = np.asarray([s.granted_ns for s in spans])
+        end = np.asarray([s.end_ns for s in spans])
+        retries = 0
+        for node in np.unique(leaf):
+            on_leaf = leaf == node
+            readers = np.flatnonzero(on_leaf & is_search)
+            writers = np.flatnonzero(on_leaf & ~is_search)
+            if len(readers) == 0 or len(writers) == 0:
+                continue
+            # overlap: writer locked [g, e) intersects reader [s, t)
+            overlap = (
+                (granted[writers][None, :] < end[readers][:, None])
+                & (start[readers][:, None] < end[writers][None, :])
+            )
+            retries += int(np.count_nonzero(overlap))
+        return retries

@@ -163,7 +163,9 @@ class AsyncBatchUpdater:
             # replace the former per-op descend/lookup pair
             nodes, _lines = cpu_tree.descend_batch(gk)
             present = cpu_tree.lookup_batch(gk) != spec.max_value
-            sizes0 = cpu_tree.leaves.size[nodes]
+            # live occupancy, not raw extent: on a gapped tree the
+            # extent includes interleaved gaps and would over-defer
+            sizes0 = cpu_tree.leaf_occupancy(nodes)
             _u, first_idx = np.unique(gk, return_index=True)
             is_first = np.zeros(len(gk), dtype=bool)
             is_first[first_idx] = True
@@ -192,10 +194,27 @@ class AsyncBatchUpdater:
             keep = np.flatnonzero(~deferred_mask)
             defer = np.flatnonzero(deferred_mask)
             stats.lock_acquisitions += len(keep)
-            for i in keep.tolist():
-                if is_up[i]:
-                    cpu_tree.insert(int(gk[i]), int(gv[i]))
-                else:
+            keep_up = keep[is_up[keep]]
+            keep_del = keep[~is_up[keep]]
+            if len(keep_del) and len(keep_up) and len(
+                np.intersect1d(gk[keep_up], gk[keep_del])
+            ):
+                # an upsert and a delete of the same key inside one
+                # group: phase reordering would flip their order, so
+                # keep the original per-op interleaving for this group
+                for i in keep.tolist():
+                    if is_up[i]:
+                        cpu_tree.insert(int(gk[i]), int(gv[i]))
+                    else:
+                        cpu_tree.delete(int(gk[i]))
+            else:
+                # the vectorised scatter: every touched leaf is merged
+                # and rewritten once, reusing this group's batch
+                # descent instead of descending again per op
+                cpu_tree.insert_batch(
+                    gk[keep_up], gv[keep_up], nodes=nodes[keep_up]
+                )
+                for i in keep_del.tolist():
                     cpu_tree.delete(int(gk[i]))
             stats.applied += len(keep)
             # lock conflicts: two logical threads hitting the same
@@ -263,16 +282,25 @@ class SyncUpdater:
         )
         ops = [("upsert", int(k), int(v)) for k, v in zip(keys, values)]
         ops += [("delete", int(k), 0) for k in deletes]
+        # one batch descent over the whole op stream replaces the old
+        # per-op `_descend`: the ids are exact while the structure
+        # holds, and any structural change triggers the full mirror
+        # rebuild below, which restores consistency regardless
+        all_op_keys = np.concatenate([keys, deletes])
+        op_nodes = (
+            cpu_tree.descend_batch(all_op_keys)[0]
+            if len(all_op_keys)
+            else np.empty(0, dtype=np.int64)
+        )
 
         node_bytes = self.tree.node_stride * 8
         structural = 0
         rebuilt = False
         dirty: List[int] = []
         push_overhead_units = 0  # per-push bookkeeping on the open stream
-        for op, key, value in ops:
+        for (op, key, value), node in zip(ops, op_nodes.tolist()):
             height_before = cpu_tree.height
             leaves_before = cpu_tree.leaves.count
-            node, _line, _path = cpu_tree._descend(key, instrument=False)
             if op == "upsert":
                 cpu_tree.insert(key, value)
             else:

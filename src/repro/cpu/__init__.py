@@ -8,6 +8,8 @@
   breadth-first array) B+-tree.
 * :mod:`repro.cpu.btree_regular` — the regular (pointer-based) B+-tree
   with 17-cache-line inner nodes and 256-entry big leaves (Fig 2 c-d).
+* :mod:`repro.cpu.gapped` — the gapped-leaf variant (BS-tree style):
+  interleaved gaps make most inserts in-place writes.
 * :mod:`repro.cpu.software_pipeline` — software pipelining of lookups
   (Algorithm 2, appendix B.2).
 * :mod:`repro.cpu.fast_tree` — the FAST baseline (Kim et al., SIGMOD'10)
@@ -17,6 +19,7 @@
 from repro.cpu.btree_implicit import ImplicitCpuBPlusTree
 from repro.cpu.btree_regular import RegularCpuBPlusTree
 from repro.cpu.fast_tree import FastTree
+from repro.cpu.gapped import GappedCpuBPlusTree, GapStats
 from repro.cpu.node_search import (
     NodeSearchAlgorithm,
     hierarchical_simd_search,
@@ -28,6 +31,8 @@ from repro.cpu.software_pipeline import SoftwarePipeline
 __all__ = [
     "ImplicitCpuBPlusTree",
     "RegularCpuBPlusTree",
+    "GappedCpuBPlusTree",
+    "GapStats",
     "FastTree",
     "NodeSearchAlgorithm",
     "sequential_search",

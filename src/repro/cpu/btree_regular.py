@@ -70,15 +70,16 @@ class _InnerPool:
         self.parent = np.full(capacity, _NIL, dtype=np.int64)
         self.next = np.full(capacity, _NIL, dtype=np.int64)
         self.prev = np.full(capacity, _NIL, dtype=np.int64)
+        self.version = np.zeros(capacity, dtype=np.int64)
 
     def _grow(self) -> None:
         old = (self.keys, self.index_line, self.refs, self.size, self.parent,
-               self.next, self.prev)
+               self.next, self.prev, self.version)
         n = self.keys.shape[0]
         self._grow_to(2 * n)
         for new_arr, old_arr in zip(
             (self.keys, self.index_line, self.refs, self.size, self.parent,
-             self.next, self.prev),
+             self.next, self.prev, self.version),
             old,
         ):
             new_arr[:n] = old_arr
@@ -105,9 +106,17 @@ class _InnerPool:
         self._free.append(node)
 
     def refresh_index(self, node: int) -> None:
-        """Recompute the index line: I_s = max key of key-line s."""
+        """Recompute the index line: I_s = max key of key-line s.
+
+        Every key/ref mutation ends in a ``refresh_index``, so the call
+        doubles as the node's write barrier: it bumps the node's
+        monotonically-increasing version stamp (FB+-tree-style).  The
+        stamp never resets — not even across ``free``/``allocate`` — so
+        optimistic readers can not be fooled by slot reuse (ABA).
+        """
         kpl = self.spec.keys_per_line
         self.index_line[node] = self.keys[node].reshape(kpl, kpl)[:, -1]
+        self.version[node] += 1
 
 
 class _LeafPool:
@@ -133,13 +142,18 @@ class _LeafPool:
         self.size = np.zeros(capacity, dtype=np.int64)
         self.next = np.full(capacity, _NIL, dtype=np.int64)
         self.prev = np.full(capacity, _NIL, dtype=np.int64)
+        #: monotonically-increasing per-leaf write stamp (never reset,
+        #: mirroring :class:`_InnerPool`); bumped on every content write
+        self.version = np.zeros(capacity, dtype=np.int64)
 
     def _grow(self) -> None:
-        old = (self.keys, self.values, self.size, self.next, self.prev)
+        old = (self.keys, self.values, self.size, self.next, self.prev,
+               self.version)
         n = self.keys.shape[0]
         self._grow_to(2 * n)
         for new_arr, old_arr in zip(
-            (self.keys, self.values, self.size, self.next, self.prev), old
+            (self.keys, self.values, self.size, self.next, self.prev,
+             self.version), old
         ):
             new_arr[:n] = old_arr
 
@@ -195,7 +209,7 @@ class RegularCpuBPlusTree:
         self.l_segment: Optional[Segment] = None
         self.upper = _InnerPool(self.spec)
         self.last = _InnerPool(self.spec)
-        self.leaves = _LeafPool(self.spec)
+        self.leaves = self._make_leaf_pool()
         self.num_tuples = 0
         # an empty tree still has one (empty) last-level inner + big leaf
         self.root = self._new_last_level_node()
@@ -206,6 +220,10 @@ class RegularCpuBPlusTree:
 
     # ------------------------------------------------------------------
     # allocation helpers
+
+    def _make_leaf_pool(self) -> _LeafPool:
+        """Leaf-pool factory; the gapped subclass swaps in its pool."""
+        return _LeafPool(self.spec)
 
     def _new_last_level_node(self) -> int:
         node = self.last.allocate()
@@ -450,8 +468,18 @@ class RegularCpuBPlusTree:
         p = self.spec.leaf_pairs_per_line
         return self.leaves.keys[leaf].reshape(self.fanout, p)[:, -1]
 
+    def leaf_occupancy(self, nodes: np.ndarray) -> np.ndarray:
+        """Stored pairs per big leaf (vectorised).
+
+        For the compact layout this is the leaf ``size``; the gapped
+        subclass overrides it with the live-pair count so split
+        projection counts real entries, not interleaved gaps.
+        """
+        return self.leaves.size[np.asarray(nodes, dtype=np.int64)]
+
     def _refresh_last_level_keys(self, node: int) -> None:
         """Re-derive a last-level inner's keys from its big leaf."""
+        self.leaves.version[node] += 1
         p = self.spec.leaf_pairs_per_line
         size = int(self.leaves.size[node])
         lines = (size + p - 1) // p
@@ -499,6 +527,7 @@ class RegularCpuBPlusTree:
         pos = int(np.searchsorted(leaf_keys[:size], typed_key))
         if pos < size and int(leaf_keys[pos]) == key:
             self.leaves.values[node, pos] = value
+            self.leaves.version[node] += 1
             return False
         if size >= self.leaves.capacity_pairs:
             self._split_leaf(node, path)
@@ -524,6 +553,120 @@ class RegularCpuBPlusTree:
         for level, node, slot in reversed(path[:-1]):
             if int(self.upper.keys[node, slot]) < key:
                 self._set_parent_key(level, node, slot, key)
+
+    def _raise_parent_keys(self, node: int, new_max: int) -> None:
+        """Raise ancestor routing keys to cover ``new_max``.
+
+        Path-free twin of :meth:`_bubble_up_max` for the batch insert
+        path: walks the parent fragment upward from a last-level node,
+        locating the child slot the way ``_remove_child`` does.
+        """
+        child = node
+        level = 0
+        while True:
+            parent = int(self._pool(level).parent[child])
+            if parent == _NIL:
+                return
+            psize = int(self.upper.size[parent])
+            for s in range(psize):
+                if int(self.upper.refs[parent, s]) == child:
+                    if int(self.upper.keys[parent, s]) < new_max:
+                        self._set_parent_key(level + 1, parent, s, new_max)
+                    break
+            child = parent
+            level += 1
+
+    def _write_leaf_pairs(
+        self, node: int, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Overwrite a big leaf with sorted pairs (compact layout).
+
+        The layout hook of the batch insert path: writes the pairs as a
+        packed prefix with sentinel padding — exactly the state a
+        sequence of single inserts leaves behind.  The gapped subclass
+        re-spreads the pairs with interleaved gaps instead.
+        """
+        m = len(keys)
+        if m > self.leaves.capacity_pairs:
+            raise ValueError("leaf overflow in _write_leaf_pairs")
+        self.leaves.keys[node, :m] = keys
+        self.leaves.values[node, :m] = values
+        self.leaves.keys[node, m:] = self.spec.max_value
+        self.leaves.values[node, m:] = 0
+        self.leaves.size[node] = m
+        self._refresh_last_level_keys(node)
+
+    def _leaf_pairs(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Copies of one leaf's stored (keys, values), gaps excluded."""
+        size = int(self.leaves.size[node])
+        return (
+            self.leaves.keys[node, :size].copy(),
+            self.leaves.values[node, :size].copy(),
+        )
+
+    def insert_batch(
+        self,
+        keys: Sequence[int],
+        values: Sequence[int],
+        nodes: Optional[np.ndarray] = None,
+    ) -> int:
+        """Vectorised upsert batch; returns the number of *new* keys.
+
+        Groups the batch by target big leaf (one :meth:`descend_batch`)
+        and rewrites each touched leaf once with the merged pairs — a
+        scatter of grouped per-leaf inserts instead of a per-op descend
+        + shift.  Duplicate keys collapse to the last value, matching
+        sequential insert semantics.  A leaf whose merged occupancy
+        would exceed capacity falls back to per-op :meth:`insert` for
+        its group (the split path); everything else never splits, so
+        the final tree state is identical to the sequential loop.
+
+        ``nodes`` may carry precomputed descent targets (from a caller
+        that already classified the batch); they must come from this
+        tree with no structural change in between.
+        """
+        bk = np.asarray(keys, dtype=self.spec.dtype)
+        bv = np.asarray(values, dtype=self.spec.dtype)
+        if len(bk) == 0:
+            return 0
+        if len(bk) and int(bk.max()) >= self.spec.max_value:
+            raise ValueError("key outside the valid (non-sentinel) domain")
+        # last value wins per duplicate key (sequential semantics)
+        _u, last_idx = np.unique(bk[::-1], return_index=True)
+        keep = np.sort(len(bk) - 1 - last_idx)
+        bk, bv = bk[keep], bv[keep]
+        if nodes is None:
+            nodes, _lines = self.descend_batch(bk)
+        else:
+            nodes = np.asarray(nodes, dtype=np.int64)[keep]
+        order = np.argsort(nodes, kind="stable")
+        bk, bv, nodes = bk[order], bv[order], nodes[order]
+        runs = np.r_[0, np.flatnonzero(nodes[1:] != nodes[:-1]) + 1, len(nodes)]
+        new_total = 0
+        cap = self.leaves.capacity_pairs
+        for i in range(len(runs) - 1):
+            lo, hi = int(runs[i]), int(runs[i + 1])
+            node = int(nodes[lo])
+            gk, gv = bk[lo:hi], bv[lo:hi]
+            ek, ev = self._leaf_pairs(node)
+            # merge: existing keys hit by the group are overwritten
+            hit = np.isin(ek, gk, assume_unique=True)
+            n_new = len(gk) - int(np.count_nonzero(hit))
+            if len(ek) - int(np.count_nonzero(hit)) + len(gk) > cap:
+                # the group would overflow the leaf: sequential path
+                # (splits, re-descents) for exactly this group
+                for k, v in zip(gk.tolist(), gv.tolist()):
+                    new_total += int(self.insert(int(k), int(v)))
+                continue
+            mk = np.concatenate([ek[~hit], gk])
+            mv = np.concatenate([ev[~hit], gv])
+            o = np.argsort(mk, kind="stable")
+            self._write_leaf_pairs(node, mk[o], mv[o])
+            if n_new:
+                self._raise_parent_keys(node, int(mk[o][-1]))
+            self.num_tuples += n_new
+            new_total += n_new
+        return new_total
 
     def _split_leaf(self, node: int, path: list) -> None:
         """Split a full big leaf (and its last-level inner) in half."""
@@ -765,7 +908,7 @@ class RegularCpuBPlusTree:
             raise ValueError("fill factor must be in [0.05, 1.0]")
         self.upper = _InnerPool(self.spec)
         self.last = _InnerPool(self.spec)
-        self.leaves = _LeafPool(self.spec)
+        self.leaves = self._make_leaf_pool()
         self.num_tuples = len(keys)
 
         cap = max(1, int(self.leaves.capacity_pairs * fill))

@@ -23,8 +23,10 @@ from repro.obs.export import (
     publish_adaptive,
     publish_device,
     publish_engine,
+    publish_gap_occupancy,
     publish_lifecycle,
     publish_link,
+    publish_mixed,
     publish_memory,
     publish_resilience,
     publish_tree,
@@ -58,8 +60,10 @@ __all__ = [
     "publish_adaptive",
     "publish_device",
     "publish_engine",
+    "publish_gap_occupancy",
     "publish_lifecycle",
     "publish_link",
+    "publish_mixed",
     "publish_memory",
     "publish_resilience",
     "publish_tree",

@@ -125,13 +125,53 @@ def publish_lifecycle(metrics: MetricsRegistry, manager,
     )
 
 
+def publish_mixed(metrics: MetricsRegistry, result,
+                  **labels) -> None:
+    """An :class:`~repro.core.mixed.OptimisticRunResult` (or plain
+    :class:`~repro.core.mixed.MixedRunResult`): retry counters, the
+    dirty-node mirror sync accounting, and gap write-path behaviour."""
+    metrics.gauge("mixed.throughput_ops", **labels).set(
+        result.throughput_ops
+    )
+    metrics.gauge("mixed.total_ns", **labels).set(result.total_ns)
+    metrics.gauge("mixed.operations", **labels).set(
+        result.schedule.operations
+    )
+    for name in ("retries", "retry_ns", "dirty_nodes", "sync_transfers",
+                 "sync_bytes", "sync_faults", "gap_writes",
+                 "shift_writes", "splits"):
+        value = getattr(result, name, None)
+        if value is not None:
+            metrics.gauge(f"mixed.{name}", **labels).set(value)
+    rebuilt = getattr(result, "mirror_rebuilt", None)
+    if rebuilt is not None:
+        metrics.gauge("mixed.mirror_rebuilt", **labels).set(int(rebuilt))
+
+
+def publish_gap_occupancy(metrics: MetricsRegistry, tree,
+                          **labels) -> None:
+    """A gapped tree's current slot occupancy + cumulative GapStats."""
+    cpu_tree = getattr(tree, "cpu_tree", tree)
+    occupancy = getattr(cpu_tree, "gap_occupancy", None)
+    if occupancy is not None:
+        metrics.gauge("tree.gap_occupancy", **labels).set(occupancy())
+    gap_stats = getattr(cpu_tree, "gap_stats", None)
+    if gap_stats is not None:
+        publish(metrics, "tree.gaps", gap_stats, **labels)
+        metrics.gauge("tree.gaps.in_place_fraction", **labels).set(
+            gap_stats.in_place_fraction
+        )
+
+
 def collect_all(metrics: MetricsRegistry, tree=None, engine=None,
                 engine_label: str = "batch", resilient=None,
-                adaptive=None, lifecycle=None, **labels) -> Dict[str, Any]:
+                adaptive=None, lifecycle=None, mixed=None,
+                **labels) -> Dict[str, Any]:
     """One-call convenience: publish whatever is given, return the
     registry snapshot."""
     if tree is not None:
         publish_tree(metrics, tree, **labels)
+        publish_gap_occupancy(metrics, tree, **labels)
     if engine is not None:
         publish_engine(metrics, engine, engine_label, **labels)
     if resilient is not None:
@@ -140,4 +180,6 @@ def collect_all(metrics: MetricsRegistry, tree=None, engine=None,
         publish_adaptive(metrics, adaptive, **labels)
     if lifecycle is not None:
         publish_lifecycle(metrics, lifecycle, **labels)
+    if mixed is not None:
+        publish_mixed(metrics, mixed, **labels)
     return metrics.snapshot()

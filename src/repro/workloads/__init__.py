@@ -7,10 +7,12 @@ from repro.workloads.generators import (
     knuth_shuffle,
 )
 from repro.workloads.queries import (
+    MIX_RATIOS,
     QueryMix,
     make_insert_batch,
     make_point_queries,
     make_range_queries,
+    make_ratio_mix,
     make_update_mix,
 )
 from repro.workloads.trace import (
@@ -33,6 +35,8 @@ __all__ = [
     "make_range_queries",
     "make_insert_batch",
     "make_update_mix",
+    "make_ratio_mix",
+    "MIX_RATIOS",
     "DriftPhase",
     "OpKind",
     "ReplayStats",

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -75,13 +75,25 @@ def make_insert_batch(
 
 @dataclass(frozen=True)
 class QueryMix:
-    """A mixed search/update stream (appendix B.3, Fig 21)."""
+    """A mixed search/update stream (appendix B.3, Fig 21).
+
+    Deletes are optional: ``is_delete[i]`` marks op ``i`` as a delete
+    (consuming the next key of ``delete_keys``); ``is_update`` keeps
+    its original meaning (upsert), and an op that is neither is a
+    search — so mixes built before deletes existed are unchanged.
+    """
 
     search_keys: np.ndarray
     update_keys: np.ndarray
     update_values: np.ndarray
-    #: interleaving: op[i] True means update, False means search
+    #: interleaving: op[i] True means upsert, False means search/delete
     is_update: np.ndarray
+    #: keys removed by delete ops, in op order (empty = no deletes)
+    delete_keys: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint64)
+    )
+    #: op[i] True means delete; None or all-False = no deletes
+    is_delete: Optional[np.ndarray] = None
 
     @property
     def update_ratio(self) -> float:
@@ -89,8 +101,18 @@ class QueryMix:
             return 0.0
         return float(np.mean(self.is_update))
 
+    @property
+    def delete_ratio(self) -> float:
+        if self.is_delete is None or len(self.is_delete) == 0:
+            return 0.0
+        return float(np.mean(self.is_delete))
+
     def __len__(self) -> int:
         return len(self.is_update)
+
+
+#: paper-style read/write ratio presets (update fraction by name)
+MIX_RATIOS = {"95/5": 0.05, "50/50": 0.50, "read-only": 0.0}
 
 
 def make_update_mix(
@@ -99,13 +121,24 @@ def make_update_mix(
     update_ratio: float,
     key_bits: int = 64,
     seed: int = 17,
+    delete_ratio: float = 0.0,
 ) -> QueryMix:
-    """A stream of ``n`` operations with the given update fraction."""
+    """A stream of ``n`` operations with the given update fraction.
+
+    ``delete_ratio`` carves an additional fraction of the stream into
+    deletes of *existing* keys (distinct targets, so every delete hits
+    a live key); the remainder splits into fresh-key upserts
+    (``update_ratio``) and searches over the existing keys.
+    """
     if not 0.0 <= update_ratio <= 1.0:
         raise ValueError("update_ratio must be within [0, 1]")
+    if not 0.0 <= delete_ratio <= 1.0 or update_ratio + delete_ratio > 1.0:
+        raise ValueError("update_ratio + delete_ratio must be within [0, 1]")
     rng = np.random.default_rng(seed)
     n_updates = int(round(n * update_ratio))
-    n_searches = n - n_updates
+    n_deletes = int(round(n * delete_ratio))
+    n_deletes = min(n_deletes, n - n_updates, len(np.asarray(existing)))
+    n_searches = n - n_updates - n_deletes
     search_keys = make_point_queries(existing, max(n_searches, 1), seed=seed)
     upd_keys, upd_vals = (
         make_insert_batch(existing, n_updates, key_bits, seed=seed + 1)
@@ -113,12 +146,40 @@ def make_update_mix(
         else (np.empty(0, dtype=existing.dtype),
               np.empty(0, dtype=existing.dtype))
     )
-    flags = np.zeros(n, dtype=bool)
-    flags[:n_updates] = True
-    rng.shuffle(flags)
+    del_keys = (
+        rng.choice(np.asarray(existing), size=n_deletes, replace=False)
+        if n_deletes
+        else np.empty(0, dtype=np.asarray(existing).dtype)
+    )
+    kinds = np.concatenate([
+        np.ones(n_updates, dtype=np.int8),
+        np.full(n_deletes, 2, dtype=np.int8),
+        np.zeros(n_searches, dtype=np.int8),
+    ])
+    rng.shuffle(kinds)
     return QueryMix(
         search_keys=search_keys[:n_searches],
         update_keys=upd_keys,
         update_values=upd_vals,
-        is_update=flags,
+        is_update=kinds == 1,
+        delete_keys=del_keys,
+        is_delete=(kinds == 2) if n_deletes else None,
+    )
+
+
+def make_ratio_mix(
+    existing: np.ndarray,
+    n: int,
+    ratio: str,
+    key_bits: int = 64,
+    seed: int = 17,
+) -> QueryMix:
+    """A :class:`QueryMix` from a named read/write preset (``"95/5"``,
+    ``"50/50"``, ``"read-only"``)."""
+    if ratio not in MIX_RATIOS:
+        raise ValueError(
+            f"unknown ratio {ratio!r}; choose from {sorted(MIX_RATIOS)}"
+        )
+    return make_update_mix(
+        existing, n, MIX_RATIOS[ratio], key_bits=key_bits, seed=seed
     )
