@@ -8,13 +8,17 @@ Walks one index through a day of operation:
    (``validate_index``),
 3. serve a production-like trace with a drifting hot set
    (``synthesize_trace`` / ``replay_trace``),
-4. absorb a large write burst with GPU-assisted batch updates
+4. onboard a scan-heavy tenant: batched range scans ride the GPU
+   bucket machinery bit-identically to the sequential walk, and
+   Algorithm 1 re-prices the (kernel, D, R) split for the scan mix
+   (``BatchingEngine.run_scans`` / ``set_scan_profile``),
+5. absorb a large write burst with GPU-assisted batch updates
    (``GpuAssistedUpdater``), then re-validate and re-persist,
-5. survive a GPU incident: under injected faults the resilient wrapper
+6. survive a GPU incident: under injected faults the resilient wrapper
    degrades to CPU-only service (answers stay correct), then recovers
    to hybrid throughput once the faults clear
    (``ResilientHBPlusTree`` / ``FaultInjector``),
-6. warm restart after a node failure: periodic checksummed snapshots
+7. warm restart after a node failure: periodic checksummed snapshots
    (one torn mid-write by an injected storage fault — the live tree
    and older snapshots are untouched), then a replacement node comes
    up via ``warm_restart``: restored from the newest intact snapshot
@@ -31,10 +35,12 @@ from pathlib import Path
 import numpy as np
 
 from repro import (
+    BatchingEngine,
     FaultInjector,
     FaultPlan,
     GpuAssistedUpdater,
     HBPlusTree,
+    ImplicitHBPlusTree,
     ResilienceConfig,
     ResilientHBPlusTree,
     SnapshotManager,
@@ -45,8 +51,9 @@ from repro import (
     warm_restart,
 )
 from repro.core.adaptive import AdaptiveController
+from repro.core.load_balance import LoadBalancer
 from repro.workloads import generate_dataset
-from repro.workloads.queries import make_insert_batch
+from repro.workloads.queries import make_insert_batch, make_scan_queries
 from repro.workloads.trace import replay_trace, synthesize_trace
 
 
@@ -82,7 +89,41 @@ def main() -> None:
     )
     validate_index(tree)
 
-    # 4. nightly write burst, GPU assisted
+    # 4. a scan-heavy tenant arrives: batched scans descend through
+    #    the GPU bucket path and finish on the vectorised leaf-chain
+    #    walk; the balancer re-prices the split for the mix
+    #    (DESIGN.md §15)
+    los, his = make_scan_queries(keys, 512, 128, dist="geometric",
+                                 seed=5)
+    engine = BatchingEngine(tree)
+    scans = engine.run_scans(los, his)
+    assert scans[:4] == [
+        tree.range_query(int(lo), int(hi))
+        for lo, hi in zip(los[:4].tolist(), his[:4].tolist())
+    ], "batched scans must match the sequential walk"
+    tuples_per_scan = engine.stats.scan_tuples / len(los)
+    # Algorithm-1 discovery profiles the implicit breadth-first
+    # layout; price the split on an implicit twin of today's tuples
+    cur_keys = np.asarray([k for k, _v in tree.cpu_tree.items()],
+                          dtype=np.uint64)
+    cur_vals = np.asarray([v for _k, v in tree.cpu_tree.items()],
+                          dtype=np.uint64)
+    implicit = ImplicitHBPlusTree(cur_keys, cur_vals, machine=machine)
+    balancer = LoadBalancer(implicit, bucket_size=4096)
+    lookup_split = balancer.discover()
+    balancer.set_scan_profile(0.5, tuples_per_scan)
+    scan_split = balancer.discover()
+    balancer.set_scan_profile(0.0, 0.0)
+    print(
+        f"scan tenant: {len(los)} scans, "
+        f"{engine.stats.scan_tuples:,} tuples "
+        f"(~{tuples_per_scan:.0f}/scan, bit-identical); split "
+        f"lookup-only (D={lookup_split.depth}, R={lookup_split.ratio}, "
+        f"{lookup_split.kernel}) -> scan-heavy (D={scan_split.depth}, "
+        f"R={scan_split.ratio}, {scan_split.kernel})"
+    )
+
+    # 5. nightly write burst, GPU assisted
     burst_keys, burst_vals = make_insert_batch(
         np.asarray([k for k, _v in tree.cpu_tree.items()],
                    dtype=np.uint64),
@@ -99,7 +140,7 @@ def main() -> None:
     final = save_index(tree, workdir / "orders_index_day2")
     print(f"validated and re-persisted to {final}")
 
-    # 5. GPU incident: degrade gracefully, then recover
+    # 6. GPU incident: degrade gracefully, then recover
     served_keys = np.asarray(
         [k for k, _v in tree.cpu_tree.items()], dtype=np.uint64
     )
@@ -145,7 +186,7 @@ def main() -> None:
         f"mirror refreshes={resilient.stats.mirror_refreshes})"
     )
 
-    # 6. warm restart after node failure: the runbook is three steps —
+    # 7. warm restart after node failure: the runbook is three steps —
     #    (a) snapshot on a schedule; a torn write costs one snapshot,
     #        never the live tree or the older snapshots on disk;
     #    (b) when the node dies, point a fresh process at the snapshot

@@ -106,6 +106,8 @@ class AdaptiveStats:
     rebalances: int = 0
     forced_cpu_only: int = 0
     rediscoveries: int = 0
+    scans: int = 0
+    scan_tuples: int = 0
     last_gain: float = 0.0
     depth: int = 0
     ratio: float = 0.0
@@ -133,6 +135,9 @@ class StaticSplit:
         return (self.depth, self.ratio)
 
     def note_bucket(self, queries) -> None:
+        pass
+
+    def note_scan_bucket(self, los, tuples) -> None:
         pass
 
 
@@ -209,6 +214,9 @@ class RegularModeBalancer(SplitCostModel):
                 txn_per_query_level * 64.0 / gpu.effective_bandwidth_gbs
             ] * h
         self.gpu_level_ns = self.gpu_level_ns_by_kernel[PER_QUERY]
+        # Scan costing: one more leaf probe per extra leaf line walked.
+        self.leaf_scan_ns = self.leaf_ns
+        self.scan_pairs_per_line = float(self.tree.spec.leaf_pairs_per_line)
 
     def _discover_kernel(self, kernel: str, bucket_size: Optional[int]):
         """Algorithm 1 restricted to the two modes the tree can run,
@@ -250,6 +258,9 @@ class AdaptiveController:
         self.stats = AdaptiveStats()
         self._parts: List[np.ndarray] = []
         self._bucket_in_window = 0
+        self._window_queries = 0
+        self._window_scans = 0
+        self._window_scan_tuples = 0
         self._pending: Optional[Split] = None
         self._streak = 0
         self._forced = False
@@ -358,6 +369,7 @@ class AdaptiveController:
         q = np.asarray(queries)
         self.stats.buckets += 1
         self.stats.queries += len(q)
+        self._window_queries += len(q)
         per_bucket = -(-cfg.sample_size // cfg.window_buckets)
         if len(q) <= per_bucket:
             part = q.copy()
@@ -371,6 +383,22 @@ class AdaptiveController:
         if self._bucket_in_window >= cfg.window_buckets:
             self._close_window()
 
+    def note_scan_bucket(self, los, tuples) -> None:
+        """Fold one dispatched *scan* bucket into the sliding window.
+
+        A scan's descent keys (the ``lo`` bounds) enter the reservoir
+        like lookup keys — the descent cost model does not care why a
+        key descends — while the scan count and returned-tuple volume
+        feed the per-window scan profile that Algorithm 1 prices
+        through :meth:`SplitCostModel.set_scan_profile`.
+        """
+        q = np.asarray(los)
+        self.stats.scans += len(q)
+        self.stats.scan_tuples += int(tuples)
+        self._window_scans += len(q)
+        self._window_scan_tuples += int(tuples)
+        self.note_bucket(q)
+
     # ------------------------------------------------------------------
     # the loop body
 
@@ -381,11 +409,22 @@ class AdaptiveController:
         )
         self._parts = []
         self._bucket_in_window = 0
+        scans = self._window_scans
+        scan_tuples = self._window_scan_tuples
+        total = self._window_queries
+        self._window_scans = 0
+        self._window_scan_tuples = 0
+        self._window_queries = 0
         self.stats.windows += 1
         self.obs.count("live.rebalance.windows")
         if len(sample) < self.config.min_window_queries:
             return
         self._last_sample = sample
+        if hasattr(self.balancer, "set_scan_profile"):
+            share = scans / total if total else 0.0
+            mean_length = scan_tuples / scans if scans else 0.0
+            self.balancer.set_scan_profile(share, mean_length)
+            self.obs.gauge("live.rebalance.scan_share", share)
         if self._forced:
             # a forced split (degraded mode) is pinned until
             # rediscover(); keep collecting windows so recovery

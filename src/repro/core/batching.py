@@ -104,6 +104,17 @@ class BatchStats:
     #: (accumulated only when the engine measures baselines)
     baseline_transactions: int = 0
     baselines_measured: int = 0
+    #: range scans executed through :meth:`BatchingEngine.run_scans`
+    scans: int = 0
+    #: tuples those scans returned (the leaf-chain work the cost model
+    #: prices separately from point lookups)
+    scan_tuples: int = 0
+
+    @property
+    def mean_scan_length(self) -> float:
+        if self.scans == 0:
+            return 0.0
+        return self.scan_tuples / self.scans
 
     @property
     def transactions_per_query(self) -> float:
@@ -155,8 +166,12 @@ class BatchingEngine:
         self.kernel = validate_kernel(kernel) if kernel is not None else None
         self.stats = BatchStats()
         #: serializes batch entry against :meth:`quiesce` so a snapshot
-        #: taken under load sees a consistent tree between batches
-        self._serve_lock = threading.RLock()
+        #: taken under load sees a consistent tree between batches; the
+        #: tree's own ``serve_lock`` is adopted when it has one, so
+        #: direct tree scans (``tree.range_query``) and engine batches
+        #: serialize against the same quiesce window
+        self._serve_lock = getattr(tree, "serve_lock", None) \
+            or threading.RLock()
         #: explicit :class:`repro.obs.Observability` override; None
         #: follows the tree's attached bundle dynamically
         self._obs = obs
@@ -292,6 +307,81 @@ class BatchingEngine:
                 for bucket in iter_buckets(q, self.bucket_size)
             ]
         return np.concatenate(parts)
+
+    # ------------------------------------------------------------------
+    # range scans
+
+    def scan_bucket(self, los: Sequence, his: Sequence):
+        """Run one bucket of range scans; returns per-query pair lists.
+
+        The start-key descents ride the exact point-lookup machinery —
+        sort/dedup of the ``lo`` bounds, balancer-split levels, the
+        discovered GPU kernel, fault-site screening — and the L-segment
+        leaf-chain walk finishes on the CPU
+        (``tree.cpu_scan_bucket``).  Results are bit-identical to
+        ``[tree.cpu_tree.range_query(lo, hi) for lo, hi in zip(...)]``.
+        """
+        obs = self.obs
+        plan = plan_bucket(los, dtype=self.tree.spec.dtype)
+        his = np.asarray(his, dtype=self.tree.spec.dtype)
+        if plan.n_queries == 0:
+            return []
+        index = self.stats.buckets
+        obs.emit(
+            "scan_bucket_start", index=index,
+            n_queries=plan.n_queries, n_unique=plan.n_unique,
+        )
+        with obs.span("scan_bucket", bucket=index,
+                      n_queries=plan.n_queries, n_unique=plan.n_unique):
+            with obs.span("gpu_descend", bucket=index):
+                result = self._descend(plan)
+            with obs.span("cpu_scan", bucket=index):
+                codes = self._codes_of(result)[plan.inverse]
+                scans = self.tree.cpu_scan_bucket(plan.queries, his, codes)
+        tuples = sum(len(s) for s in scans)
+        self.stats.buckets += 1
+        self.stats.queries += plan.n_queries
+        self.stats.unique += plan.n_unique
+        self.stats.transactions += result.transactions
+        self.stats.scans += plan.n_queries
+        self.stats.scan_tuples += tuples
+        if self.balancer is not None and hasattr(
+            self.balancer, "note_scan_bucket"
+        ):
+            self.balancer.note_scan_bucket(plan.queries, tuples)
+        obs.emit(
+            "scan_bucket_end", index=index,
+            n_queries=plan.n_queries, n_unique=plan.n_unique,
+            transactions=result.transactions, tuples=tuples,
+        )
+        return scans
+
+    def run_scans(self, los: Sequence, his: Sequence):
+        """Batched range scans through the hybrid bucket machinery.
+
+        For each pair ``(los[i], his[i])`` returns the list of stored
+        ``(key, value)`` tuples with ``lo <= key <= hi``, in key order —
+        bit-identical to the sequential per-tree walk.  Start-key
+        descents go through the GPU bucket path (sharing the balancer's
+        committed (kernel, D, R) and the fault-injection sites); the
+        leaf-chain scans run vectorised on the L-segment.
+        """
+        lo_arr = self.tree.spec.coerce(los)
+        hi_arr = self.tree.spec.coerce(his)
+        if len(lo_arr) != len(hi_arr):
+            raise ValueError("run_scans needs matching lo/hi arrays")
+        if len(lo_arr) == 0:
+            return []
+        out = []
+        with self._serve_lock, self.obs.span(
+            "engine.run_scans", scans=len(lo_arr)
+        ):
+            for start in range(0, len(lo_arr), self.bucket_size):
+                stop = start + self.bucket_size
+                out.extend(
+                    self.scan_bucket(lo_arr[start:stop], hi_arr[start:stop])
+                )
+        return out
 
     @contextmanager
     def quiesce(self):

@@ -22,8 +22,9 @@ implemented in :mod:`repro.core.update`.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -144,6 +145,10 @@ class HBPlusTree:
         #: ``"per_query"`` charges warp-window coalescing, ``"frontier"``
         #: level-wise block-wide dedup (same 3-step descent either way)
         self.kernel = PER_QUERY
+        #: serializes direct tree reads (range scans) against engine
+        #: ``quiesce()`` windows — engines over this tree adopt the
+        #: same lock, so a snapshot never observes a mid-split chain
+        self.serve_lock = threading.RLock()
         self.mirror_i_segment()
         if injector is not None:
             self.attach_injector(injector)
@@ -523,7 +528,32 @@ class HBPlusTree:
         return None if val == self.spec.max_value else val
 
     def range_query(self, lo: int, hi: int):
-        return self.cpu_tree.range_query(lo, hi)
+        """Sequential leaf-chain scan, serialized against engine
+        ``quiesce()`` windows via the shared serve lock."""
+        with self.serve_lock:
+            return self.cpu_tree.range_query(lo, hi)
+
+    def cpu_scan_bucket(
+        self, los: np.ndarray, his: np.ndarray, codes: np.ndarray
+    ) -> List[List[Tuple[int, int]]]:
+        """Stage 4 for range scans: leaf-chain walks from GPU-located
+        start leaves.
+
+        ``codes`` are the per-start-key (node, leaf-line) codes the GPU
+        stage produced for the ``lo`` bounds; the big-leaf index is the
+        node part, and the chain walk resumes there without re-running
+        the CPU descent.
+        """
+        nodes = (np.asarray(codes) // self.cpu_tree.fanout).astype(np.int64)
+        tree = self.cpu_tree
+        return [
+            tree.range_scan_from(int(node), int(lo), int(hi))
+            for node, lo, hi in zip(
+                nodes.tolist(),
+                np.asarray(los).tolist(),
+                np.asarray(his).tolist(),
+            )
+        ]
 
     # ------------------------------------------------------------------
     # profiling / cost model
@@ -566,8 +596,14 @@ class HBPlusTree:
                     "sample= explicitly"
                 )
             rng = np.random.default_rng(5)
-            # sample with replacement so tiny trees still fill a bucket
-            sample = rng.choice(stored, size=4096, replace=True)
+            # draw without replacement whenever the tree can fill the
+            # bucket — duplicate draws inflate the sample's
+            # unique_fraction and bias the sorted gain the planner
+            # commits; replacement survives only as the tiny-tree
+            # fallback
+            size = 4096
+            sample = rng.choice(stored, size=size,
+                                replace=len(stored) < size)
         sample = np.asarray(sample, dtype=self.spec.dtype)
         if len(sample) == 0:
             raise ValueError("bucket_costs sample must be non-empty")

@@ -19,8 +19,9 @@ Updates rebuild the whole tree and re-upload the I-segment
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -141,6 +142,10 @@ class ImplicitHBPlusTree:
         #: ``"per_query"`` (Snippet 3) or ``"frontier"`` (level-wise);
         #: the engines/balancers override per bucket via ``kernel=``
         self.kernel = PER_QUERY
+        #: serializes direct tree reads (range scans) against engine
+        #: ``quiesce()`` windows — engines over this tree adopt the
+        #: same lock (same contract as ``HBPlusTree.serve_lock``)
+        self.serve_lock = threading.RLock()
         self._mirror_i_segment()
 
     def attach_obs(self, obs) -> None:
@@ -448,8 +453,34 @@ class ImplicitHBPlusTree:
         return None if val == self.spec.max_value else val
 
     def range_query(self, lo: int, hi: int):
-        """Range scan: GPU locates the first leaf, CPU walks leaves."""
-        return self.cpu_tree.range_query(lo, hi)
+        """Sequential leaf scan, serialized against engine
+        ``quiesce()`` windows via the shared serve lock."""
+        with self.serve_lock:
+            return self.cpu_tree.range_query(lo, hi)
+
+    def cpu_scan_bucket(
+        self, los: np.ndarray, his: np.ndarray, leaf_indices: np.ndarray
+    ) -> List[List[Tuple[int, int]]]:
+        """Stage 4 for range scans: leaf walks from GPU-located starts.
+
+        ``leaf_indices`` are the per-start-key leaves the GPU stage
+        produced for the ``lo`` bounds (clamped like
+        :meth:`cpu_finish_bucket`); the scan resumes there without
+        re-running the CPU descent.
+        """
+        leaves = np.minimum(
+            np.asarray(leaf_indices, dtype=np.int64),
+            self.cpu_tree.num_leaves - 1,
+        )
+        tree = self.cpu_tree
+        return [
+            tree.range_scan_from(int(leaf), int(lo), int(hi))
+            for leaf, lo, hi in zip(
+                leaves.tolist(),
+                np.asarray(los).tolist(),
+                np.asarray(his).tolist(),
+            )
+        ]
 
     # ------------------------------------------------------------------
     # instrumented profiling (feeds the cost model)
@@ -490,8 +521,14 @@ class ImplicitHBPlusTree:
                     "sample= explicitly"
                 )
             rng = np.random.default_rng(3)
-            # sample with replacement so tiny trees still fill a bucket
-            sample = rng.choice(stored, size=4096, replace=True)
+            # draw without replacement whenever the tree can fill the
+            # bucket — duplicate draws inflate the sample's
+            # unique_fraction and bias the sorted gain the planner
+            # commits; replacement survives only as the tiny-tree
+            # fallback
+            size = 4096
+            sample = rng.choice(stored, size=size,
+                                replace=len(stored) < size)
         sample = np.asarray(sample, dtype=self.spec.dtype)
         if len(sample) == 0:
             raise ValueError("bucket_costs sample must be non-empty")

@@ -93,6 +93,18 @@ class SplitCostModel:
     #: restricts which kernels discovery may choose (``None`` = all
     #: measured kernels); lets a deployment pin the per-query schedule
     allowed_kernels: Optional[Tuple[str, ...]] = None
+    #: fraction of bucket queries that are range scans (0 = pure
+    #: lookups, the classic Eq-4 costing)
+    scan_share: float = 0.0
+    #: expected tuples returned per scan
+    scan_length: float = 0.0
+    #: modeled CPU cost of touching one additional leaf line while the
+    #: scan walks the chain (set by :meth:`reprofile` from the measured
+    #: leaf-stage cost)
+    leaf_scan_ns: float = 0.0
+    #: tuples one leaf cache line carries (how far a line's touch
+    #: advances a scan before the next line is charged)
+    scan_pairs_per_line: float = 8.0
 
     @property
     def gpu_level_ns(self) -> List[float]:
@@ -141,6 +153,39 @@ class SplitCostModel:
                   sample_size: int = 2048) -> None:
         raise NotImplementedError
 
+    def set_scan_profile(self, share: float, length: float) -> None:
+        """Price buckets as a scan/lookup mix.
+
+        ``share`` is the fraction of queries that are range scans and
+        ``length`` their expected tuple count.  A scan's descent costs
+        exactly a lookup's; the difference is the leaf-chain
+        continuation — ``share x extra-leaf-lines x leaf_scan_ns`` of
+        *CPU* work per query — which shifts Equation 4's CPU side and
+        therefore where Algorithm 1 commits (kernel, D, R).  Survives
+        :meth:`reprofile` (the profile is traffic, not hardware).
+        """
+        if not 0.0 <= share <= 1.0:
+            raise ValueError("scan share must be within [0, 1]")
+        if length < 0.0:
+            raise ValueError("scan length must be >= 0")
+        self.scan_share = float(share)
+        self.scan_length = float(length)
+
+    def scan_extra_ns(self) -> float:
+        """Per-query CPU cost of the scans' leaf-chain continuations.
+
+        The first leaf line is already charged by ``leaf_ns`` (a scan
+        starts exactly like a lookup); only the lines beyond it are
+        extra, weighted by the scan share of the mix.
+        """
+        if self.scan_share <= 0.0 or self.scan_length <= 0.0:
+            return 0.0
+        extra_lines = max(
+            0.0,
+            self.scan_length / max(self.scan_pairs_per_line, 1.0) - 1.0,
+        )
+        return self.scan_share * extra_lines * self.leaf_scan_ns
+
     # ------------------------------------------------------------------
     # Equation 4 / getSample
 
@@ -167,7 +212,10 @@ class SplitCostModel:
         gpu_level_ns = self.gpu_costs_for(
             validate_kernel(kernel) if kernel is not None else self.kernel
         )
-        cpu_per_query = self.leaf_ns + sum(self.cpu_level_ns[:depth])
+        cpu_per_query = (
+            self.leaf_ns + self.scan_extra_ns()
+            + sum(self.cpu_level_ns[:depth])
+        )
         if depth < h:
             cpu_per_query += ratio * self.cpu_level_ns[depth]
         gpu_per_query = sum(gpu_level_ns[depth + 1:])
@@ -399,6 +447,12 @@ class LoadBalancer(SplitCostModel):
                 txn_per_query_level * 64.0 / gpu.effective_bandwidth_gbs
             ] * h
         self.gpu_level_ns = self.gpu_level_ns_by_kernel[PER_QUERY]
+
+        # Scan costing: each extra leaf line walked past the landing line
+        # costs one more CPU leaf probe; the implicit tree stores a whole
+        # leaf per cache line.
+        self.leaf_scan_ns = self.leaf_ns
+        self.scan_pairs_per_line = float(tree.leaf_keys.shape[1])
 
     # ------------------------------------------------------------------
     # functional balanced lookup

@@ -321,8 +321,11 @@ class OverlappedEngine:
         self.stats.cpu_queue.capacity = self.cpu_queue_depth
         #: serializes batch entry against :meth:`quiesce` — worker
         #: threads live only inside ``lookup_batch``, so holding this
-        #: lock guarantees no thread is touching the tree
-        self._serve_lock = threading.RLock()
+        #: lock guarantees no thread is touching the tree; the tree's
+        #: own ``serve_lock`` is adopted when it has one, so direct
+        #: tree scans serialize against the same quiesce window
+        self._serve_lock = getattr(tree, "serve_lock", None) \
+            or threading.RLock()
 
     @property
     def obs(self):
@@ -372,6 +375,90 @@ class OverlappedEngine:
         """
         with self._serve_lock:
             yield self
+
+    def run_scans(self, los: Sequence, his: Sequence):
+        """Batched range scans under the serve lock.
+
+        Scans reuse the dispatcher's stateful machinery — balancer
+        split + feedback and the serial launch screening (the injector
+        fault site), in bucket order — then finish with the vectorised
+        L-segment chain walk (``tree.cpu_scan_bucket``).  The leaf
+        stage dominates a scan and produces variable-length output, so
+        scans run serially under the serve lock rather than through the
+        lookup pipeline's fixed-width buffers; results are
+        bit-identical to the sequential per-tree walk.
+        """
+        lo_arr = self.tree.spec.coerce(los)
+        hi_arr = self.tree.spec.coerce(his)
+        if len(lo_arr) != len(hi_arr):
+            raise ValueError("run_scans needs matching lo/hi arrays")
+        if len(lo_arr) == 0:
+            return []
+        obs = self.obs
+        out = []
+        t0 = time.perf_counter_ns()
+        try:
+            with self._serve_lock, obs.span(
+                "overlap.run_scans", scans=len(lo_arr)
+            ):
+                bucket_starts = range(0, len(lo_arr), self.bucket_size)
+                for index, start in enumerate(bucket_starts):
+                    his_b = hi_arr[start: start + self.bucket_size]
+                    t_plan = time.perf_counter_ns()
+                    try:
+                        with obs.span("plan_screen", bucket=index):
+                            plan = plan_bucket(
+                                lo_arr[start: start + self.bucket_size],
+                                dtype=self.tree.spec.dtype,
+                            )
+                            obs.emit(
+                                "scan_bucket_start", index=index,
+                                n_queries=plan.n_queries,
+                                n_unique=plan.n_unique,
+                            )
+                            levels, gpu_active, kernel = \
+                                self._dispatch_split(plan)
+                            launch = self.tree.gpu_begin_bucket(gpu_active)
+                    finally:
+                        self.stats.dispatch_busy_ns += \
+                            time.perf_counter_ns() - t_plan
+                    t_gpu = time.perf_counter_ns()
+                    try:
+                        with obs.span("gpu_descend", bucket=index,
+                                      n_unique=plan.n_unique):
+                            codes, txns = self._stage_descend(
+                                plan, launch, levels, kernel
+                            )
+                    finally:
+                        self.stats.gpu_busy_ns += \
+                            time.perf_counter_ns() - t_gpu
+                    t_cpu = time.perf_counter_ns()
+                    try:
+                        with obs.span("cpu_scan", bucket=index,
+                                      n_unique=plan.n_unique):
+                            scans = self.tree.cpu_scan_bucket(
+                                plan.queries, his_b, codes[plan.inverse]
+                            )
+                            out.extend(scans)
+                    finally:
+                        self.stats.cpu_busy_ns += \
+                            time.perf_counter_ns() - t_cpu
+                    tuples = sum(len(s) for s in scans)
+                    self._account_bucket(plan, txns)
+                    if self.balancer is not None and hasattr(
+                        self.balancer, "note_scan_bucket"
+                    ):
+                        self.balancer.note_scan_bucket(
+                            plan.queries, tuples
+                        )
+                    obs.emit(
+                        "scan_bucket_end", index=index,
+                        n_queries=plan.n_queries, n_unique=plan.n_unique,
+                        transactions=txns, tuples=tuples,
+                    )
+        finally:
+            self.stats.wall_ns += time.perf_counter_ns() - t0
+        return out
 
     # ------------------------------------------------------------------
     # (D, R) split plumbing

@@ -39,6 +39,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.core.batching import plan_bucket
 from repro.core.framework import RegularHBAdapter
 from repro.core.hbtree import GpuSearchResult, HBPlusTree
 from repro.core.update import AsyncBatchUpdater, SyncUpdater, UpdateStats
@@ -672,6 +673,102 @@ class ResilientHBPlusTree:
         )
         val = int(out[0])
         return None if val == self.tree.spec.max_value else val
+
+    # ------------------------------------------------------------------
+    # range scans
+
+    def _scan_cpu_only(self, los: np.ndarray, his: np.ndarray) -> list:
+        tree = self.tree.cpu_tree
+        out = [
+            tree.range_query(int(lo), int(hi))
+            for lo, hi in zip(los.tolist(), his.tolist())
+        ]
+        self.stats.served_cpu += len(los)
+        self.stats.served_ns += len(los) * self.cpu_only_query_ns
+        return out
+
+    def _scan_hybrid(self, los: np.ndarray, his: np.ndarray) -> list:
+        plan = plan_bucket(los, dtype=self.tree.spec.dtype)
+        result = self._gpu_search(plan.sorted_unique)
+        codes = result.codes[plan.inverse]
+        out = self.tree.cpu_scan_bucket(plan.queries, his, codes)
+        self.stats.served_hybrid += plan.n_queries
+        self.stats.served_ns += (
+            self.hybrid_bucket_ns * plan.n_queries / self.bucket_size
+        )
+        return out
+
+    def _scan_bucket(self, los: np.ndarray, his: np.ndarray) -> list:
+        self.stats.batches += 1
+        n = len(los)
+        if self.breaker.open:
+            with self.obs.span("resilient.scan_bucket", mode="cpu_only",
+                               scans=n):
+                out = self._scan_cpu_only(los, his)
+                if self.breaker.note_degraded_batch():
+                    self._probe_recovery()
+        else:
+            pen0 = self.stats.penalty_ns
+            with self.obs.span("resilient.scan_bucket", mode="hybrid",
+                               scans=n):
+                try:
+                    self._ensure_healthy_mirror()
+                    out = self._scan_hybrid(los, his)
+                    self.breaker.record_success()
+                    batch_ns = (
+                        self.stats.penalty_ns - pen0
+                        + self.hybrid_bucket_ns * n / self.bucket_size
+                    )
+                    self._note_hybrid_cost(batch_ns / n)
+                except GpuUnavailable:
+                    self.stats.gpu_batch_failures += 1
+                    if self.breaker.record_failure():
+                        self.stats.degradations += 1
+                        self._note_degrade("consecutive_failures")
+                    out = self._scan_cpu_only(los, his)
+                    batch_ns = (
+                        self.stats.penalty_ns - pen0
+                        + n * self.cpu_only_query_ns
+                    )
+                    self._note_hybrid_cost(batch_ns / n)
+        if self.adaptive is not None:
+            # scan buckets feed the mode controller like lookup buckets
+            # do; the tuple volume is only known after the walk, so the
+            # note lands post-serve (a window closing here moves the
+            # mode for the *next* bucket)
+            self.adaptive.note_scan_bucket(
+                los, sum(len(s) for s in out)
+            )
+            self._maybe_trip_adaptive()
+        return out
+
+    def run_scans(self, los: Sequence[int], his: Sequence[int]) -> list:
+        """Fault-tolerant batched range scans.
+
+        Per-query results are bit-identical to the sequential
+        ``tree.range_query`` walk: the worst an injected fault can do
+        is demote a bucket to the CPU-only leaf-chain scan.  Holds the
+        tree's serve lock, so a concurrent ``quiesce()``/snapshot never
+        observes a half-served scan bucket.
+        """
+        spec = self.tree.spec
+        lo_arr = spec.coerce(los)
+        hi_arr = spec.coerce(his)
+        if len(lo_arr) != len(hi_arr):
+            raise ValueError("run_scans needs matching lo/hi arrays")
+        if len(lo_arr) == 0:
+            return []
+        lock = getattr(self.tree, "serve_lock", None) or nullcontext()
+        out = []
+        with lock, self.obs.span("resilient.run_scans",
+                                 scans=len(lo_arr)):
+            for start in range(0, len(lo_arr), self.bucket_size):
+                stop = start + self.bucket_size
+                out.extend(
+                    self._scan_bucket(lo_arr[start:stop],
+                                      hi_arr[start:stop])
+                )
+        return out
 
     # ------------------------------------------------------------------
     # updates

@@ -45,6 +45,17 @@ from repro.memsim.mainmem import MemorySystem, PageConfig
 _NIL = -1
 
 
+def _multi_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """The concatenation of ``arange(s, s + c)`` per (start, count),
+    without a Python-level loop."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        counts.cumsum() - counts, counts
+    )
+    return np.repeat(np.asarray(starts, dtype=np.int64), counts) + offsets
+
+
 class _InnerPool:
     """A growable pool of inner nodes, fragmented into two structures.
 
@@ -426,8 +437,13 @@ class RegularCpuBPlusTree:
         mask = np.arange(self.leaves.capacity_pairs) < sizes[:, None]
         return self.leaves.keys[chain][mask]
 
-    def range_query(self, lo: int, hi: int) -> List[Tuple[int, int]]:
-        """All (key, value) pairs with ``lo <= key <= hi`` in order."""
+    def range_query_scalar(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """Scalar reference walk of :meth:`range_query`.
+
+        One Python iteration per visited slot — kept as the baseline
+        the vectorised scan is checked (and benchmarked) against, the
+        same way ``pack_i_segment_scalar`` anchors the packing path.
+        """
         if lo > hi or self.num_tuples == 0:
             return []
         node, line, _ = self._descend(int(lo), instrument=True)
@@ -451,7 +467,10 @@ class RegularCpuBPlusTree:
                     if counters is not None:
                         counters.queries += 1
                     return results
-                results.append((key, int(self.leaves.values[node, start])))
+                if self._slot_is_live(node, start):
+                    results.append(
+                        (key, int(self.leaves.values[node, start]))
+                    )
                 start += 1
             node = int(self.leaves.next[node])
             start = 0
@@ -459,6 +478,174 @@ class RegularCpuBPlusTree:
         if counters is not None:
             counters.queries += 1
         return results
+
+    def range_scan_from_scalar(self, node: int, lo: int,
+                               hi: int) -> List[Tuple[int, int]]:
+        """Scalar reference walk of :meth:`range_scan_from`.
+
+        One Python iteration per visited slot, starting at big leaf
+        ``node`` with no descent — the baseline the vectorised
+        leaf-chain scan is benchmarked against stage-for-stage.  Like
+        the vectorised twin it tolerates a start leaf at-or-before
+        the true one: it keeps seeking ``lo`` leaf by leaf until a
+        leaf holds a key at-or-after it.
+        """
+        if lo > hi or self.num_tuples == 0:
+            return []
+        node = int(node)
+        counters = self.mem.counters if self.mem else None
+        p = self.spec.leaf_pairs_per_line
+        lo_t = self.spec.dtype(lo)
+        results: List[Tuple[int, int]] = []
+        seeking = True
+        while node != _NIL:
+            size = int(self.leaves.size[node])
+            if size:
+                if seeking:
+                    start = int(np.searchsorted(
+                        self.leaves.keys[node, :size], lo_t
+                    ))
+                else:
+                    start = 0
+                if start < size:
+                    seeking = False
+                    touched_line = -1
+                    while start < size:
+                        cur_line = start // p
+                        if cur_line != touched_line:
+                            self._touch_leaf_line(node, cur_line)
+                            touched_line = cur_line
+                        key = int(self.leaves.keys[node, start])
+                        if key > hi:
+                            if counters is not None:
+                                counters.queries += 1
+                            return results
+                        if self._slot_is_live(node, start):
+                            results.append(
+                                (key, int(self.leaves.values[node, start]))
+                            )
+                        start += 1
+            node = int(self.leaves.next[node])
+        if counters is not None:
+            counters.queries += 1
+        return results
+
+    def _slot_is_live(self, node: int, slot: int) -> bool:
+        """Whether leaf slot holds a real pair (gapped pool overrides)."""
+        return True
+
+    def _gather_pairs(self, nodes: np.ndarray, a: np.ndarray,
+                      b: np.ndarray,
+                      results: List[Tuple[int, int]]) -> None:
+        """Append the pairs in slots ``[a_i, b_i)`` of each leaf, in
+        chain order (the gapped pool overrides to mask gap slots)."""
+        cap = self.leaves.capacity_pairs
+        idx = _multi_arange(nodes * cap + a, b - a)
+        k = self.leaves.keys.reshape(-1)[idx]
+        v = self.leaves.values.reshape(-1)[idx]
+        results.extend(zip(k.tolist(), v.tolist()))
+
+    def _scan_chain(self, node: int, lo: int, hi: int,
+                    instrument: bool = True) -> List[Tuple[int, int]]:
+        """Vectorised leaf-chain scan from leaf ``node``.
+
+        The per-leaf loop does scalar bookkeeping only — a
+        ``searchsorted`` runs solely in the first contributing leaf
+        (chain keys are globally non-decreasing, so every later leaf
+        starts at slot 0) and in the terminating leaf (detected by one
+        last-key comparison).  The touched-line stream and the result
+        gather are each issued as one batched call at scan end, in the
+        exact order the scalar walk produces them: identical results,
+        identical modeled counters.
+        """
+        counters = self.mem.counters if (instrument and self.mem) else None
+        p = self.spec.leaf_pairs_per_line
+        lo_t = self.spec.dtype(lo)
+        hi_t = self.spec.dtype(hi)
+        leaf_keys = self.leaves.keys
+        leaf_size = self.leaves.size
+        leaf_next = self.leaves.next
+        seg_node: List[int] = []
+        seg_a: List[int] = []
+        seg_b: List[int] = []
+        line_node: List[int] = []
+        line_a: List[int] = []
+        line_b: List[int] = []
+        seeking = True
+        while node != _NIL:
+            size = int(leaf_size[node])
+            if size:
+                if seeking:
+                    start = int(
+                        np.searchsorted(leaf_keys[node, :size], lo_t)
+                    )
+                else:
+                    start = 0
+                if start < size:
+                    seeking = False
+                    if leaf_keys[node, size - 1] <= hi_t:
+                        # whole remainder of the leaf qualifies
+                        stop = size - start
+                        terminates = False
+                    else:
+                        stop = int(np.searchsorted(
+                            leaf_keys[node, start:size], hi_t,
+                            side="right",
+                        ))
+                        terminates = True
+                    last_slot = start + stop if terminates else size - 1
+                    line_node.append(node)
+                    line_a.append(start // p)
+                    line_b.append(last_slot // p + 1)
+                    if stop:
+                        seg_node.append(node)
+                        seg_a.append(start)
+                        seg_b.append(start + stop)
+                    if terminates:
+                        break
+            node = int(leaf_next[node])
+        if instrument and line_node:
+            la = np.asarray(line_a, dtype=np.int64)
+            cnt = np.asarray(line_b, dtype=np.int64) - la
+            self._touch_leaf_lines(
+                np.repeat(np.asarray(line_node, dtype=np.int64), cnt),
+                _multi_arange(la, cnt),
+            )
+        results: List[Tuple[int, int]] = []
+        if seg_node:
+            self._gather_pairs(
+                np.asarray(seg_node, dtype=np.int64),
+                np.asarray(seg_a, dtype=np.int64),
+                np.asarray(seg_b, dtype=np.int64),
+                results,
+            )
+        if counters is not None:
+            counters.queries += 1
+        return results
+
+    def range_query(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """All (key, value) pairs with ``lo <= key <= hi`` in order.
+
+        Vectorised: identical results and identical modeled leaf-line
+        counters to :meth:`range_query_scalar`.
+        """
+        if lo > hi or self.num_tuples == 0:
+            return []
+        node, _line, _ = self._descend(int(lo), instrument=True)
+        return self._scan_chain(node, int(lo), int(hi))
+
+    def range_scan_from(self, node: int, lo: int,
+                        hi: int) -> List[Tuple[int, int]]:
+        """Leaf-chain scan starting at big leaf ``node`` (no descent).
+
+        The engine scan path locates the start leaf on the GPU and
+        finishes here.  Tolerates a start leaf at-or-before the true
+        one: leaves whose keys all precede ``lo`` contribute nothing
+        and the walk moves on.
+        """
+        if lo > hi or self.num_tuples == 0:
+            return []
+        return self._scan_chain(int(node), int(lo), int(hi))
 
     # ------------------------------------------------------------------
     # key maintenance

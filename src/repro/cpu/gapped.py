@@ -38,7 +38,12 @@ from typing import Iterator, List, Tuple
 
 import numpy as np
 
-from repro.cpu.btree_regular import _NIL, RegularCpuBPlusTree, _LeafPool
+from repro.cpu.btree_regular import (
+    _NIL,
+    RegularCpuBPlusTree,
+    _LeafPool,
+    _multi_arange,
+)
 
 
 @dataclass
@@ -160,44 +165,25 @@ class GappedCpuBPlusTree(RegularCpuBPlusTree):
         ) & ~self.leaves.gap[chain]
         return self.leaves.keys[chain][mask]
 
-    def range_query(self, lo: int, hi: int) -> List[Tuple[int, int]]:
-        """All real (key, value) pairs in ``[lo, hi]`` — gaps skipped."""
-        if lo > hi or self.num_tuples == 0:
-            return []
-        node, _line, _ = self._descend(int(lo), instrument=True)
-        counters = self.mem.counters if self.mem else None
-        p = self.spec.leaf_pairs_per_line
-        start = int(
-            np.searchsorted(
-                self.leaves.keys[node, : self.leaves.size[node]],
-                self.spec.dtype(lo),
-            )
-        )
-        results: List[Tuple[int, int]] = []
-        touched_line = -1
-        while node != _NIL:
-            size = int(self.leaves.size[node])
-            while start < size:
-                cur_line = start // p
-                if cur_line != touched_line:
-                    self._touch_leaf_line(node, cur_line)
-                    touched_line = cur_line
-                key = int(self.leaves.keys[node, start])
-                if key > hi:
-                    if counters is not None:
-                        counters.queries += 1
-                    return results
-                if not self.leaves.gap[node, start]:
-                    results.append(
-                        (key, int(self.leaves.values[node, start]))
-                    )
-                start += 1
-            node = int(self.leaves.next[node])
-            start = 0
-            touched_line = -1
-        if counters is not None:
-            counters.queries += 1
-        return results
+    def _slot_is_live(self, node: int, slot: int) -> bool:
+        return not self.leaves.gap[node, slot]
+
+    def _gather_pairs(self, nodes: np.ndarray, a: np.ndarray,
+                      b: np.ndarray,
+                      results: List[Tuple[int, int]]) -> None:
+        """Gap-mask-aware slot gather: only real pairs are emitted.
+
+        The inherited :meth:`range_query` / :meth:`range_scan_from`
+        chain walk touches gap slots' lines like the scalar walk does
+        (a gap occupies the line whether or not it holds data); only
+        the pair gather differs.
+        """
+        cap = self.leaves.capacity_pairs
+        idx = _multi_arange(nodes * cap + a, b - a)
+        idx = idx[~self.leaves.gap.reshape(-1)[idx]]
+        k = self.leaves.keys.reshape(-1)[idx]
+        v = self.leaves.values.reshape(-1)[idx]
+        results.extend(zip(k.tolist(), v.tolist()))
 
     # ------------------------------------------------------------------
     # gapped write paths

@@ -129,12 +129,30 @@ class MemorySystem:
     def touch_lines(self, segment: Segment, line_indices) -> int:
         """Access many cache lines of ``segment``; returns total misses.
 
-        Counter-identical to calling :meth:`touch_line` per index in
-        order (the cache and TLB are stateful LRU models, so the walk
-        itself cannot be collapsed), but the address arithmetic is
-        vectorised and the counters are updated once per batch instead
-        of once per line — the profiling hot path of
-        ``profile_leaf_stage`` over large samples.
+        Counter- AND state-identical to calling :meth:`touch_line` per
+        index in order, but the batch is decomposed into maximal runs
+        of +1-consecutive lines and each run is processed wholesale,
+        one ``in`` probe plus one LRU operation per line:
+
+        * once the stream is confirmed, every later line of the run
+          was prefetched just in time, so its demand access is a hit
+          and a probe miss means the line was one prefetch *issue*,
+          never a demand miss — only the first one or two lines of a
+          run can miss;
+        * the in-run prefetch fills can be deferred from prefetch
+          time to the line's own demand time: two lines less than
+          ``degree`` apart never share a cache set (``degree`` is far
+          below ``num_sets``), so between the real fill and the
+          demand nothing else touches that set — the probe still
+          sees the pre-fill state, the eviction victim is the same,
+          and no intervening access can observe the difference.
+
+        The TLB is independent of the cache, so it is settled in a
+        separate pass over page *stretches*: only the first line of a
+        stretch can change pool state, the rest re-touch the MRU
+        entry.  The prefetcher's stream-table entry is read once and
+        written back once.  This is the hot path of the leaf-chain
+        scans and of ``profile_leaf_stage`` over large samples.
         """
         import numpy as np
 
@@ -147,38 +165,167 @@ class MemorySystem:
         segment.address_of(int(idx.min()) * ls)
         segment.address_of(int(idx.max()) * ls + ls - 1)
         addrs = ((segment.base + idx * ls) // ls) * ls
-        vpages = addrs // segment.page_size
+        vp_arr = addrs // segment.page_size
+        line_arr = addrs // ls
+        vpages = vp_arr.tolist()
+        lines = line_arr.tolist()
         seg_last_line = (segment.end - 1) // ls
-        lines = addrs // ls
         kind = segment.page_kind
         base = segment.base
-        translate = self.tlb.translate
-        access = self.cache.access
-        prefetcher = self.prefetcher
+
+        tlb = self.tlb
+        small = kind is PageKind.SMALL
+        pool = tlb._small if small else tlb._huge
+        pool_entries = pool._entries
+        pool_cap = pool.capacity
+        tlb_hits = 0
+        tlb_misses = 0
+
+        cache = self.cache
+        sets = cache._sets
+        num_sets = cache.num_sets
+        assoc = cache.associativity
         misses = 0
+
+        prefetcher = self.prefetcher
         prefetches = 0
-        if prefetcher is None:
-            for vp, addr in zip(vpages.tolist(), addrs.tolist()):
-                translate(vp, kind)
-                if not access(addr):
-                    misses += 1
+        if prefetcher is not None:
+            streams = prefetcher._streams
+            degree = prefetcher.degree
+            last = streams.get(base)
+            if last is None:
+                streams[base] = -1  # placed now; the value lands below
+                while len(streams) > prefetcher.max_streams:
+                    streams.popitem(last=False)
         else:
-            observe = prefetcher.observe
-            for vp, addr, line in zip(
-                vpages.tolist(), addrs.tolist(), lines.tolist()
-            ):
-                translate(vp, kind)
-                if not access(addr):
+            degree = 0
+            last = None
+
+        runs = [0]
+        runs += (np.flatnonzero(np.diff(line_arr) != 1) + 1).tolist()
+        runs.append(n)
+        if degree < num_sets:
+            # TLB pass: one pool probe per page stretch
+            stretch = [0]
+            stretch += (np.flatnonzero(np.diff(vp_arr) != 0) + 1).tolist()
+            stretch.append(n)
+            for a, b in zip(stretch, stretch[1:]):
+                vp = vpages[a]
+                if vp in pool_entries:
+                    pool_entries.move_to_end(vp)
+                    tlb_hits += b - a
+                else:
+                    if len(pool_entries) >= pool_cap:
+                        pool_entries.popitem(last=False)
+                    pool_entries[vp] = None
+                    tlb_misses += 1
+                    tlb_hits += b - a - 1
+            # cache + prefetch pass, one run at a time; in-run
+            # prefetch fills are deferred to each line's own demand
+            # (exact while degree < num_sets — see the docstring)
+            for a, b in zip(runs, runs[1:]):
+                s = lines[a]
+                e = lines[b - 1]
+                if prefetcher is not None:
+                    # first line whose access confirms the stream
+                    conf = s if (last is not None and s == last + 1) else s + 1
+                else:
+                    conf = e + 1
+                # accesses at/before the confirming one can miss ...
+                for x in range(s, min(conf, e) + 1):
+                    cache_set = sets[x % num_sets]
+                    if x in cache_set:
+                        cache_set.move_to_end(x)
+                    else:
+                        if len(cache_set) >= assoc:
+                            cache_set.popitem(last=False)
+                        cache_set[x] = None
+                        misses += 1
+                # ... every later line was prefetched just in time: a
+                # non-resident one was one prefetch issue, never a
+                # demand miss (the fill is not demand traffic — no
+                # demand counters, and a resident target keeps its
+                # LRU position)
+                for x in range(min(conf, e) + 1, e + 1):
+                    cache_set = sets[x % num_sets]
+                    if x in cache_set:
+                        cache_set.move_to_end(x)
+                    else:
+                        if len(cache_set) >= assoc:
+                            cache_set.popitem(last=False)
+                        cache_set[x] = None
+                        prefetches += 1
+                if degree and conf <= e:
+                    # the stream window reaches degree lines past the
+                    # run's end; fill the non-resident tail
+                    for x in range(max(conf + 1, e + 1),
+                                   min(e + degree, seg_last_line) + 1):
+                        cache_set = sets[x % num_sets]
+                        if x not in cache_set:
+                            if len(cache_set) >= assoc:
+                                cache_set.popitem(last=False)
+                            cache_set[x] = None
+                            prefetches += 1
+                last = e
+        else:
+            prev_vp = -1
+            for vp, line in zip(vpages, lines):
+                if vp == prev_vp:
+                    tlb_hits += 1
+                elif vp in pool_entries:
+                    pool_entries.move_to_end(vp)
+                    tlb_hits += 1
+                    prev_vp = vp
+                else:
+                    if len(pool_entries) >= pool_cap:
+                        pool_entries.popitem(last=False)
+                    pool_entries[vp] = None
+                    tlb_misses += 1
+                    prev_vp = vp
+                cache_set = sets[line % num_sets]
+                if line in cache_set:
+                    cache_set.move_to_end(line)
+                else:
+                    if len(cache_set) >= assoc:
+                        cache_set.popitem(last=False)
+                    cache_set[line] = None
                     misses += 1
-                prefetches += observe(base, line, seg_last_line)
+                if degree and last is not None and line == last + 1:
+                    for ahead in range(1, degree + 1):
+                        target = line + ahead
+                        if target > seg_last_line:
+                            break
+                        target_set = sets[target % num_sets]
+                        if target not in target_set:
+                            if len(target_set) >= assoc:
+                                target_set.popitem(last=False)
+                            target_set[target] = None
+                            prefetches += 1
+                last = line
+
+        if prefetcher is not None:
+            streams[base] = lines[-1]
+            streams.move_to_end(base)
+            prefetcher.issued += prefetches
+
+        tc = tlb.counters
+        tc.tlb_hits += tlb_hits
+        if small:
+            tc.tlb_misses_small += tlb_misses
+        else:
+            tc.tlb_misses_huge += tlb_misses
+        cc = cache.counters
+        cc.line_accesses += n
+        cc.cache_hits += n - misses
+        cc.cache_misses += misses
         c = self.counters
         c.prefetches += prefetches
         c.line_accesses += n
         c.cache_hits += n - misses
         c.cache_misses += misses
-        c.tlb_hits = self.tlb.counters.tlb_hits
-        c.tlb_misses_small = self.tlb.counters.tlb_misses_small
-        c.tlb_misses_huge = self.tlb.counters.tlb_misses_huge
+        c.tlb_hits = tc.tlb_hits
+        c.tlb_misses_small = tc.tlb_misses_small
+        c.tlb_misses_huge = tc.tlb_misses_huge
         return misses
 
     def publish_metrics(self, metrics, **labels) -> None:

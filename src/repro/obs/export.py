@@ -93,6 +93,12 @@ def publish_engine(metrics: MetricsRegistry, engine,
                    engine_label: str, **labels) -> None:
     """A batch/overlap engine's stats under an ``engine=`` label."""
     publish(metrics, "engine", engine.stats, engine=engine_label, **labels)
+    # properties are not dataclass fields; export the scan shape ones
+    mean_len = getattr(engine.stats, "mean_scan_length", None)
+    if mean_len is not None:
+        metrics.gauge(
+            "engine.mean_scan_length", engine=engine_label, **labels
+        ).set(mean_len)
 
 
 def publish_resilience(metrics: MetricsRegistry, resilient,
@@ -113,6 +119,11 @@ def publish_adaptive(metrics: MetricsRegistry, controller,
     metrics.gauge("adaptive.cpu_only", **labels).set(
         int(controller.cpu_only)
     )
+    stats = controller.stats
+    if getattr(stats, "queries", 0) and getattr(stats, "scans", 0):
+        metrics.gauge("adaptive.scan_share", **labels).set(
+            stats.scans / stats.queries
+        )
 
 
 def publish_lifecycle(metrics: MetricsRegistry, manager,

@@ -8,11 +8,14 @@ from repro.workloads.generators import (
 )
 from repro.workloads.queries import (
     MIX_RATIOS,
+    SCAN_LENGTH_DISTS,
     QueryMix,
+    make_drifting_scan_queries,
     make_insert_batch,
     make_point_queries,
     make_range_queries,
     make_ratio_mix,
+    make_scan_queries,
     make_update_mix,
 )
 from repro.workloads.trace import (
@@ -34,9 +37,12 @@ __all__ = [
     "make_point_queries",
     "make_range_queries",
     "make_insert_batch",
+    "make_scan_queries",
+    "make_drifting_scan_queries",
     "make_update_mix",
     "make_ratio_mix",
     "MIX_RATIOS",
+    "SCAN_LENGTH_DISTS",
     "DriftPhase",
     "OpKind",
     "ReplayStats",

@@ -51,6 +51,103 @@ def make_range_queries(
     ]
 
 
+#: supported scan-length distributions for :func:`make_scan_queries`
+SCAN_LENGTH_DISTS = ("fixed", "uniform", "geometric")
+
+
+def make_scan_queries(
+    keys: np.ndarray,
+    n: int,
+    mean_length: int,
+    dist: str = "fixed",
+    seed: int = 11,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``n`` range scans with a chosen scan-length distribution.
+
+    Returns parallel ``(los, his)`` arrays, the shape the engines'
+    ``run_scans`` entry points take.  Each scan's bounds are a window
+    of stored keys, so scan ``i`` matches exactly ``lengths[i]`` keys:
+
+    * ``"fixed"`` — every scan matches ``mean_length`` keys;
+    * ``"uniform"`` — lengths uniform on ``[1, 2 * mean_length - 1]``;
+    * ``"geometric"`` — geometric with mean ``mean_length`` (the
+      short-scan-heavy tail typical of pagination traffic).
+
+    Lengths are clipped to the dataset size.
+    """
+    if mean_length < 1:
+        raise ValueError("mean scan length must be at least 1")
+    if dist not in SCAN_LENGTH_DISTS:
+        raise ValueError(
+            f"unknown scan-length dist {dist!r}; "
+            f"choose from {SCAN_LENGTH_DISTS}"
+        )
+    sk = np.sort(np.asarray(keys))
+    rng = np.random.default_rng(seed)
+    if dist == "fixed":
+        lengths = np.full(n, mean_length, dtype=np.int64)
+    elif dist == "uniform":
+        lengths = rng.integers(1, 2 * mean_length, size=n)
+    else:
+        lengths = rng.geometric(1.0 / mean_length, size=n)
+    lengths = np.clip(lengths, 1, len(sk))
+    starts = rng.integers(0, len(sk) - lengths + 1, size=n)
+    los = sk[starts]
+    his = sk[starts + lengths - 1]
+    return los.copy(), his.copy()
+
+
+def make_drifting_scan_queries(
+    keys: np.ndarray,
+    n: int,
+    mean_length: int,
+    hot_fraction: float = 0.9,
+    hot_span: float = 0.05,
+    drift_per_scan: float = 0.0005,
+    dist: str = "fixed",
+    seed: int = 19,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Scans concentrated on a hot key range that drifts over the stream.
+
+    A ``hot_fraction`` share of the scans start inside a window
+    covering ``hot_span`` of the sorted key space; the window's left
+    edge advances by ``drift_per_scan`` (of the key space, wrapping)
+    per emitted scan — the moving-hot-set shape that exercises the
+    adaptive controller's window-by-window scan profiling.  The cold
+    remainder starts uniformly anywhere.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be within [0, 1]")
+    if not 0.0 < hot_span <= 1.0:
+        raise ValueError("hot_span must be within (0, 1]")
+    sk = np.sort(np.asarray(keys))
+    rng = np.random.default_rng(seed)
+    if dist == "fixed":
+        lengths = np.full(n, mean_length, dtype=np.int64)
+    elif dist == "uniform":
+        lengths = rng.integers(1, 2 * mean_length, size=n)
+    elif dist == "geometric":
+        lengths = rng.geometric(1.0 / mean_length, size=n)
+    else:
+        raise ValueError(
+            f"unknown scan-length dist {dist!r}; "
+            f"choose from {SCAN_LENGTH_DISTS}"
+        )
+    lengths = np.clip(lengths, 1, len(sk))
+    max_start = len(sk) - lengths  # inclusive upper start bound
+    hot_left = (np.arange(n) * drift_per_scan) % 1.0
+    hot_u = rng.random(n)
+    hot_pos = ((hot_left + hot_u * hot_span) % 1.0 * len(sk)).astype(
+        np.int64
+    )
+    cold_pos = rng.integers(0, len(sk), size=n)
+    is_hot = rng.random(n) < hot_fraction
+    starts = np.minimum(np.where(is_hot, hot_pos, cold_pos), max_start)
+    los = sk[starts]
+    his = sk[starts + lengths - 1]
+    return los.copy(), his.copy()
+
+
 def make_insert_batch(
     existing: np.ndarray, n: int, key_bits: int = 64, seed: int = 13
 ) -> Tuple[np.ndarray, np.ndarray]:

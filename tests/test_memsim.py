@@ -222,6 +222,118 @@ class TestMemorySystem:
         assert mem.allocator.huge_page == m1.cpu.huge_page
 
 
+def _full_state(mem):
+    """Every observable of the hierarchy: counters, cache-set key
+    order, TLB pool key order, prefetcher stream table + issue count."""
+    return (
+        dict(vars(mem.counters)),
+        dict(vars(mem.cache.counters)),
+        dict(vars(mem.tlb.counters)),
+        [list(s.keys()) for s in mem.cache._sets],
+        list(mem.tlb._small._entries.keys()),
+        list(mem.tlb._huge._entries.keys()),
+        None if mem.prefetcher is None else (
+            list(mem.prefetcher._streams.items()),
+            mem.prefetcher.issued,
+        ),
+    )
+
+
+class TestTouchLinesEquivalence:
+    """``touch_lines`` promises to be counter- AND state-identical to
+    a per-index ``touch_line`` loop — the run-wholesale fast path and
+    the per-line fallback are both checked against the loop on every
+    observable, across geometries and batch shapes."""
+
+    GEOMETRIES = [
+        dict(llc_bytes=1 << 16),
+        dict(llc_bytes=4096, associativity=4),
+        dict(llc_bytes=2048, associativity=2),
+        dict(llc_bytes=4096, associativity=4, prefetch_degree=0),
+        dict(llc_bytes=4096, associativity=4, prefetch_degree=3),
+    ]
+
+    @staticmethod
+    def _batches():
+        import numpy as np
+
+        rng = np.random.default_rng(41)
+        fixed = [
+            [0],                                 # cold single line
+            [0],                                 # warm re-touch
+            list(range(10, 74)),                 # one long run (a leaf)
+            list(range(74, 80)),                 # +1 continuation batch
+            list(range(200, 264)) + list(range(500, 506)),
+            list(range(505, 511)),               # overlapping re-walk
+            [7, 7, 7, 9],                        # duplicates
+            list(range(120, 110, -1)),           # descending
+            list(range(0, 1024, 40)),            # strided
+            [1022, 1023],                        # runs at segment end
+        ]
+        for _ in range(6):
+            start = int(rng.integers(0, 900))
+            fixed.append(
+                (start + rng.integers(0, 90, size=48)).tolist()
+            )
+        return fixed
+
+    @pytest.mark.parametrize("geom", range(len(GEOMETRIES)))
+    def test_state_and_counters_match_per_line_loop(self, geom):
+        import numpy as np
+
+        kwargs = self.GEOMETRIES[geom]
+        ref = MemorySystem(**kwargs)
+        fast = MemorySystem(**kwargs)
+        seg_ref = ref.allocate("s", 1 << 16, PageKind.SMALL)
+        seg_fast = fast.allocate("s", 1 << 16, PageKind.SMALL)
+        for batch in self._batches():
+            m_ref = sum(ref.touch_line(seg_ref, i) for i in batch)
+            m_fast = fast.touch_lines(seg_fast, np.asarray(batch))
+            assert m_fast == m_ref
+            assert _full_state(fast) == _full_state(ref)
+
+    def test_huge_pages_and_cross_segment_streams(self):
+        import numpy as np
+
+        ref = MemorySystem(llc_bytes=4096, associativity=4,
+                           huge_page=1 << 20)
+        fast = MemorySystem(llc_bytes=4096, associativity=4,
+                            huge_page=1 << 20)
+        segs_ref = [ref.allocate("a", 1 << 15, PageKind.SMALL),
+                    ref.allocate("b", 1 << 15, PageKind.HUGE)]
+        segs_fast = [fast.allocate("a", 1 << 15, PageKind.SMALL),
+                     fast.allocate("b", 1 << 15, PageKind.HUGE)]
+        rng = np.random.default_rng(43)
+        for trial in range(12):
+            which = int(rng.integers(0, 2))
+            start = int(rng.integers(0, 400))
+            batch = list(range(start, start + int(rng.integers(1, 70))))
+            m_ref = sum(
+                ref.touch_line(segs_ref[which], i) for i in batch
+            )
+            m_fast = fast.touch_lines(segs_fast[which],
+                                      np.asarray(batch))
+            assert m_fast == m_ref
+            assert _full_state(fast) == _full_state(ref)
+
+    def test_empty_batch_is_a_no_op(self):
+        import numpy as np
+
+        mem = MemorySystem(llc_bytes=1 << 16)
+        seg = mem.allocate("s", 4096, PageKind.SMALL)
+        state = _full_state(mem)
+        assert mem.touch_lines(seg, np.asarray([], dtype=np.int64)) == 0
+        assert _full_state(mem) == state
+
+    def test_out_of_segment_rejected(self):
+        import numpy as np
+
+        mem = MemorySystem(llc_bytes=1 << 16)
+        seg = mem.allocate("s", 4096, PageKind.SMALL)
+        with pytest.raises(ValueError):
+            mem.touch_lines(seg, np.asarray([0, 64]))
+
+
 class TestPageConfig:
     def test_small_small(self):
         assert PageConfig.SMALL_SMALL.inner_kind is PageKind.SMALL
