@@ -1,0 +1,75 @@
+"""CLI for the sharded multi-tenant service benchmark gate.
+
+Runs :func:`repro.bench.service.run_service` — sharded-vs-unsharded
+bit-identity (incl. under a GPU fault drill), tenant quota isolation,
+online split/merge under reader load with failing snapshots, and the
+service latency profile — writes the report, and exits non-zero when
+any gate in :func:`repro.bench.service.gate_failures` fails::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        [--smoke] [--out BENCH_pr10.json]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.service import gate_failures, run_service
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small dataset for CI (sub-minute instead of minutes)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_pr10.json",
+        help="output JSON path (default: BENCH_pr10.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_service(smoke=args.smoke)
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({report['mode']}, machine={report['machine']}, "
+          f"{report['keys']} keys)")
+    for row in report["identity"]:
+        print(
+            f"  identity {row['router']}@{row['fault_rate']}: "
+            f"lookups={row['lookups_bit_identical']} "
+            f"scans={row['scans_bit_identical']} "
+            f"updates={row['updates_bit_identical']} "
+            f"faults={row['injected_faults']}"
+        )
+    q = report["quota"]
+    print(
+        f"  quota: noisy {q['noisy_admitted']}/{q['noisy_attempted']} "
+        f"admitted (budget {q['noisy_budget']:.0f}), victims "
+        f"{q['victim_admitted']}/{q['victim_attempted']}"
+    )
+    sm = report["split_merge"]
+    print(
+        f"  split/merge: {sm['topology_changes']} changes, "
+        f"{sm['snapshot_failures']} snapshot failures contained, "
+        f"reads_correct={sm['reads_correct_throughout']}"
+    )
+    lat = report["latency"]
+    print(
+        f"  latency: p50={lat['p50_ns'] / 1e6:.2f}ms "
+        f"p95={lat['p95_ns'] / 1e6:.2f}ms "
+        f"p99={lat['p99_ns'] / 1e6:.2f}ms "
+        f"({lat['throughput_ops_s'] / 1e3:.1f} kops/s)"
+    )
+
+    failures = gate_failures(report)
+    for failure in failures:
+        print(f"GATE FAILURE: {failure}", file=sys.stderr)
+    if not failures:
+        print("all gates passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

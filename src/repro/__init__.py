@@ -68,6 +68,19 @@ from repro.lifecycle import (
     bulk_load,
     warm_restart,
 )
+from repro.service import (
+    AdmissionPolicy,
+    HashRouter,
+    IndexService,
+    QuotaConfig,
+    QuotaExceeded,
+    RangeRouter,
+    ServiceConfig,
+    Shard,
+    ShardOverloaded,
+    TenantQuotas,
+    TokenBucket,
+)
 from repro.validate import ValidationError, validate_index
 from repro.keys import KEY32, KEY64, KeySpec, key_spec
 from repro.memsim.mainmem import MemorySystem, PageConfig
@@ -139,6 +152,17 @@ __all__ = [
     "machine_m1",
     "machine_m2",
     "machine_modern",
+    "AdmissionPolicy",
+    "HashRouter",
+    "IndexService",
+    "QuotaConfig",
+    "QuotaExceeded",
+    "RangeRouter",
+    "ServiceConfig",
+    "Shard",
+    "ShardOverloaded",
+    "TenantQuotas",
+    "TokenBucket",
     "validate_index",
     "ValidationError",
     "BucketCosts",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -97,11 +98,21 @@ class ExperimentTable:
 
 
 def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean; the right average for throughput ratios."""
-    vals = [v for v in values if v and v > 0]
+    """Geometric mean; the right average for throughput ratios.
+
+    An empty input yields 0.0 (no ratios — nothing to average); a zero
+    or negative entry raises ``ValueError``.  The earlier behaviour of
+    silently dropping non-positive entries inflated the reported mean
+    exactly when a ratio collapsed to zero — the case a benchmark gate
+    most needs to see.
+    """
+    vals = [float(v) for v in values]
     if not vals:
         return 0.0
-    product = 1.0
-    for v in vals:
-        product *= v
-    return product ** (1.0 / len(vals))
+    bad = [v for v in vals if not v > 0]
+    if bad:
+        raise ValueError(
+            f"geometric_mean requires positive values; got {bad[:4]}"
+        )
+    # sum of logs, not a running product: immune to overflow/underflow
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -22,10 +22,28 @@ derived.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.platform.costmodel import BucketCosts
+
+
+def nearest_rank_index(percentile: float, n: int) -> int:
+    """Zero-based index of the standard (ceil) nearest-rank percentile.
+
+    For a sorted sample of ``n`` values, the nearest-rank method picks
+    the ``ceil(p/100 * n)``-th smallest value.  The previous
+    ``round``-based variant both under-selected mid-ranks (banker's
+    rounding sent p=25 on n=2 to rank 0) and collapsed small
+    percentiles to index 0 only via clamping; ceil is exact for every
+    ``0 < p <= 100``: p=100 is the maximum, p<=100/n is the minimum.
+    """
+    if not 0 < percentile <= 100:
+        raise ValueError("percentile must be in (0, 100]")
+    if n <= 0:
+        raise ValueError("need at least one value")
+    return math.ceil(percentile / 100.0 * n) - 1
 
 
 class BucketStrategy(enum.Enum):
@@ -109,15 +127,16 @@ class PipelineRun:
 
         Computed over the per-bucket average-query latencies, which
         capture pipeline fill/drain and queueing differences between
-        buckets.
+        buckets.  Uses the standard ceil-based nearest-rank
+        (:func:`nearest_rank_index`); the earlier ``round``-based rank
+        picked the lower of two candidates at mid-percentiles.
         """
         if not 0 < percentile <= 100:
             raise ValueError("percentile must be in (0, 100]")
         if not self.timelines:
             return 0.0
         lats = sorted(t.latency_of_average_query() for t in self.timelines)
-        index = max(0, int(round(percentile / 100 * len(lats))) - 1)
-        return lats[index]
+        return lats[nearest_rank_index(percentile, len(lats))]
 
     def timelines_df(self) -> List[dict]:
         """Structured export of every bucket timeline (list of dicts).

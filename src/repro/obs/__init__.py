@@ -29,6 +29,7 @@ from repro.obs.export import (
     publish_mixed,
     publish_memory,
     publish_resilience,
+    publish_service,
     publish_tree,
     stats_dict,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "publish_mixed",
     "publish_memory",
     "publish_resilience",
+    "publish_service",
     "publish_tree",
     "stats_dict",
     "validate_events",

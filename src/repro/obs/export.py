@@ -174,10 +174,46 @@ def publish_gap_occupancy(metrics: MetricsRegistry, tree,
         )
 
 
+def publish_service(metrics: MetricsRegistry, service,
+                    **labels) -> None:
+    """An :class:`repro.service.IndexService`: per-shard serving and
+    admission gauges, per-tenant quota gauges, service latency."""
+    stats = service.stats()
+    metrics.gauge("service.shards", **labels).set(
+        stats["router"]["n_shards"]
+    )
+    metrics.gauge("service.epoch", **labels).set(
+        stats["router"]["epoch"]
+    )
+    metrics.gauge("service.splits", **labels).set(stats["splits"])
+    metrics.gauge("service.merges", **labels).set(stats["merges"])
+    metrics.gauge("service.snapshot_failures", **labels).set(
+        stats["snapshot_failures"]
+    )
+    for name, value in stats["latency"].items():
+        if isinstance(value, (int, float)):
+            metrics.gauge(f"service.latency.{name}", **labels).set(value)
+    for row in stats["shards"]:
+        shard_labels = dict(labels, shard=str(row["position"]))
+        for field in ("n_keys", "lookups", "scans", "update_ops",
+                      "batches", "faults"):
+            metrics.gauge(f"service.shard.{field}",
+                          **shard_labels).set(row[field])
+        for field, value in row["admission"].items():
+            metrics.gauge(f"service.shard.admission.{field}",
+                          **shard_labels).set(value)
+    for tenant, row in stats["tenants"].items():
+        tenant_labels = dict(labels, tenant=tenant)
+        for field in ("capacity", "available", "admitted_ops",
+                      "rejected_ops"):
+            metrics.gauge(f"service.tenant.{field}",
+                          **tenant_labels).set(row[field])
+
+
 def collect_all(metrics: MetricsRegistry, tree=None, engine=None,
                 engine_label: str = "batch", resilient=None,
                 adaptive=None, lifecycle=None, mixed=None,
-                **labels) -> Dict[str, Any]:
+                service=None, **labels) -> Dict[str, Any]:
     """One-call convenience: publish whatever is given, return the
     registry snapshot."""
     if tree is not None:
@@ -193,4 +229,6 @@ def collect_all(metrics: MetricsRegistry, tree=None, engine=None,
         publish_lifecycle(metrics, lifecycle, **labels)
     if mixed is not None:
         publish_mixed(metrics, mixed, **labels)
+    if service is not None:
+        publish_service(metrics, service, **labels)
     return metrics.snapshot()

@@ -1,0 +1,50 @@
+"""The keyspace-partitioned multi-tenant index service.
+
+One :class:`IndexService` fronts N exclusive :class:`Shard`\\ s behind
+a :class:`RangeRouter` or :class:`HashRouter`: batches are
+quota-charged per tenant, scattered to the owning shards, served under
+each shard's bounded admission window, and gathered back in arrival
+order — bit-identical to a single unsharded tree over the merged
+keyspace.  Range-routed services split and merge shards online,
+driven by the per-shard traffic each adaptive controller samples.
+"""
+
+from repro.service.admission import (
+    AdmissionPolicy,
+    AdmissionStats,
+    ShardOverloaded,
+    ShardQueue,
+)
+from repro.service.quota import (
+    QuotaConfig,
+    QuotaExceeded,
+    TenantQuotas,
+    TokenBucket,
+)
+from repro.service.router import HashRouter, RangeRouter, group_by_shard
+from repro.service.service import (
+    IndexService,
+    LatencyRecorder,
+    ServiceConfig,
+)
+from repro.service.shard import Shard, ShardStats, shard_fault_plan
+
+__all__ = [
+    "AdmissionPolicy",
+    "AdmissionStats",
+    "HashRouter",
+    "IndexService",
+    "LatencyRecorder",
+    "QuotaConfig",
+    "QuotaExceeded",
+    "RangeRouter",
+    "ServiceConfig",
+    "Shard",
+    "ShardOverloaded",
+    "ShardQueue",
+    "ShardStats",
+    "TenantQuotas",
+    "TokenBucket",
+    "group_by_shard",
+    "shard_fault_plan",
+]

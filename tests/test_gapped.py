@@ -3,14 +3,14 @@ bit-identity property (DESIGN.md §14)."""
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.hbtree import HBPlusTree
 from repro.core.mixed import OptimisticMixedEngine
 from repro.cpu import GappedCpuBPlusTree, GapStats
 from repro.cpu.btree_regular import RegularCpuBPlusTree
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import FaultError, FaultInjector, FaultPlan
 from repro.workloads.generators import generate_dataset
 from repro.workloads.queries import make_update_mix
 
@@ -219,7 +219,15 @@ class TestOptimisticEngineProperty:
             opt_tree.attach_injector(
                 FaultInjector(FaultPlan.uniform(fault_rate, seed=seed))
             )
-        result = engine.run(mix)
+        try:
+            result = engine.run(mix)
+        except FaultError:
+            # an unlucky deterministic fault sequence can exhaust the
+            # SYNC_FAULT_RETRIES ladder even at rate < 1.0; the engine's
+            # documented contract is to propagate the typed fault so a
+            # resilient wrapper can degrade (see _rebuild_with_retries).
+            # Bit-identity is only claimed for runs that complete.
+            assume(False)
         if opt_tree.injector is not None:
             # faults are scoped to the engine run under test; the
             # verification lookups below must see a quiet device

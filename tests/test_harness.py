@@ -63,8 +63,19 @@ class TestGeometricMean:
     def test_single(self):
         assert geometric_mean([3.0]) == pytest.approx(3.0)
 
-    def test_ignores_nonpositive(self):
-        assert geometric_mean([4.0, 0.0]) == pytest.approx(4.0)
+    def test_zero_raises(self):
+        # silently dropping a collapsed ratio used to inflate the mean
+        with pytest.raises(ValueError):
+            geometric_mean([4.0, 0.0])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([2.0, -1.0])
 
     def test_empty(self):
         assert geometric_mean([]) == 0.0
+
+    def test_many_small_values_no_underflow(self):
+        # a running product of 1e-300s underflows to 0.0; the log-sum
+        # formulation keeps the mean exact
+        assert geometric_mean([1e-300] * 4) == pytest.approx(1e-300)

@@ -8,6 +8,7 @@ from repro.core.pipeline import (
     BucketTimeline,
     PipelineRun,
     PipelineSimulator,
+    nearest_rank_index,
     strategy_latency_ns,
     strategy_throughput_qps,
 )
@@ -302,3 +303,59 @@ class TestDegenerateRuns:
         assert run.throughput_qps > 0.0
         assert run.mean_latency_ns > 0.0
         assert run.latency_percentile_ns(99) >= run.latency_percentile_ns(50)
+
+
+def _run_with_latencies(latencies):
+    """A PipelineRun whose per-bucket average-query latencies are
+    exactly ``latencies`` (t1_start=0, t3_end=t4_end=L -> latency L)."""
+    timelines = [
+        BucketTimeline(index=i, t1_start=0.0, t1_end=0.0, t2_end=0.0,
+                       t3_end=float(lat), t4_end=float(lat))
+        for i, lat in enumerate(latencies)
+    ]
+    return PipelineRun(timelines=timelines, bucket_size=16)
+
+
+class TestNearestRankPercentile:
+    """Regression tests for the ceil-based nearest-rank percentile.
+
+    The previous ``round``-based rank under-selected mid-ranks
+    (banker's rounding: round(2.5) == 2, so p=50 on n=5 returned the
+    2nd-smallest instead of the median) and only reached index 0 for
+    small percentiles through clamping.
+    """
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    @pytest.mark.parametrize("p", [1, 50, 99, 100])
+    def test_small_n_matches_ceil_rank(self, n, p):
+        lats = [10.0 * (i + 1) for i in range(n)]
+        run = _run_with_latencies(lats)
+        import math
+        expected = lats[math.ceil(p / 100 * n) - 1]
+        assert run.latency_percentile_ns(p) == expected
+
+    def test_p100_is_max(self):
+        run = _run_with_latencies([30.0, 10.0, 20.0])
+        assert run.latency_percentile_ns(100) == 30.0
+
+    def test_p50_n5_is_true_median(self):
+        # the round-based rank returned 20.0 here (banker's rounding)
+        run = _run_with_latencies([10.0, 20.0, 30.0, 40.0, 50.0])
+        assert run.latency_percentile_ns(50) == 30.0
+
+    def test_small_percentile_is_minimum(self):
+        run = _run_with_latencies([10.0, 20.0, 30.0])
+        assert run.latency_percentile_ns(1) == 10.0
+
+    def test_nearest_rank_index_direct(self):
+        assert nearest_rank_index(50, 2) == 0
+        assert nearest_rank_index(50, 5) == 2
+        assert nearest_rank_index(99, 2) == 1
+        assert nearest_rank_index(100, 7) == 6
+        assert nearest_rank_index(1, 1000) == 9
+        with pytest.raises(ValueError):
+            nearest_rank_index(0, 3)
+        with pytest.raises(ValueError):
+            nearest_rank_index(101, 3)
+        with pytest.raises(ValueError):
+            nearest_rank_index(50, 0)

@@ -61,6 +61,24 @@ class TestSeriesChart:
         out = series_chart(t, "x", "y")
         assert "o" in out
 
+    def test_single_point_is_centered(self):
+        # regression: a single-x series must not divide by len(xs)-1;
+        # the point renders centered on the x axis instead
+        t = ExperimentTable("p", "d")
+        t.add(x=5, y=7.0)
+        width = 40
+        out = series_chart(t, "x", "y", width=width)
+        top = out.splitlines()[1]  # y == y_max -> top grid row
+        grid = top.split("+", 1)[1]
+        assert grid.index("o") == width // 2
+        assert "5 .. 5" in out
+
+    def test_single_point_with_series_col(self):
+        t = ExperimentTable("p", "d")
+        t.add(x=3, y=1.0, tree="a")
+        out = series_chart(t, "x", "y", series_col="tree")
+        assert "o=a" in out
+
     def test_empty(self):
         t = ExperimentTable("e", "d")
         assert series_chart(t, "x", "y") == "(no data)"
